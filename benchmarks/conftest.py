@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one of the paper's evaluation artifacts (Table 1,
+Figures 1-3) or an ablation, prints a paper-style rendering, and writes the
+same text to ``benchmarks/out/<name>.txt`` so EXPERIMENTS.md numbers are
+regenerable.  ``pytest benchmarks/ --benchmark-only`` runs everything.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def report():
+    """Collects lines, prints them, and persists them per-bench."""
+
+    class Report:
+        def __init__(self):
+            self.lines: list[str] = []
+
+        def line(self, text: str = "") -> None:
+            self.lines.append(text)
+
+        def emit(self, name: str) -> None:
+            text = "\n".join(self.lines) + "\n"
+            print("\n" + text)
+            OUT_DIR.mkdir(exist_ok=True)
+            (OUT_DIR / f"{name}.txt").write_text(text)
+
+    return Report()
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,77 @@
+"""Figure 2 — L-/P-Consensus vs WABCast, mean latency vs throughput (n = 4).
+
+Reproduces the paper's Figure 2: atomic-broadcast latency as a function of
+throughput (20..500 msg/s) for C-Abcast over L-Consensus, C-Abcast over
+P-Consensus, and WABCast, on a simulated 4-node LAN cluster in stable runs.
+
+Paper's findings, asserted as curve shapes:
+* all three protocols have similar latency at low throughput (<= 80 msg/s);
+* WABCast degrades for throughputs above ~100 msg/s (collisions stall its
+  inner rounds), while L-/P-Consensus keep rising gently (the consensus
+  falls back to its 2-step path instead of retrying).
+"""
+
+import statistics
+
+from repro.harness.factories import cabcast_l, cabcast_p, wabcast
+from repro.workload.experiment import latency_vs_throughput
+
+from conftest import once
+
+THROUGHPUTS = (20, 50, 80, 100, 150, 200, 250, 300, 350, 400, 450, 500)
+DURATION = 3.0
+WARMUP = 0.5
+
+
+def sweep(make, seed=101):
+    return latency_vs_throughput(
+        make, 4, THROUGHPUTS, duration=DURATION, warmup=WARMUP, drain=1.5, seed=seed
+    )
+
+
+def test_fig2(benchmark, report):
+    def experiment():
+        return {
+            "P-Consensus": sweep(cabcast_p),
+            "L-Consensus": sweep(cabcast_l),
+            "WABCast": sweep(wabcast),
+        }
+
+    curves = once(benchmark, experiment)
+
+    report.line("Figure 2 — mean latency [ms] vs throughput [msg/s] (n = 4)")
+    report.line("=" * 66)
+    header = f"{'throughput':<12}" + "".join(f"{name:<14}" for name in curves)
+    report.line(header)
+    for i, rate in enumerate(THROUGHPUTS):
+        row = f"{rate:<12}"
+        for name in curves:
+            point = curves[name][i]
+            row += f"{point.mean_latency_ms:<14.2f}"
+        report.line(row)
+    report.line()
+    report.line(f"(duration {DURATION}s per point, warmup {WARMUP}s, Poisson open loop)")
+    report.emit("fig2")
+
+    def mean_low(points):
+        return statistics.fmean(p.mean_latency_ms for p in points[:3])  # <= 80
+
+    def mean_high(points):
+        return statistics.fmean(p.mean_latency_ms for p in points[-3:])  # >= 400
+
+    lp_low = min(mean_low(curves["L-Consensus"]), mean_low(curves["P-Consensus"]))
+    wab_low = mean_low(curves["WABCast"])
+    lp_high = max(mean_high(curves["L-Consensus"]), mean_high(curves["P-Consensus"]))
+    wab_high = mean_high(curves["WABCast"])
+
+    # Shape 1: similar at low throughput (within 15%).
+    assert abs(wab_low - lp_low) / lp_low < 0.15
+    # Shape 2: WABCast clearly worse at high throughput.
+    assert wab_high > lp_high * 1.08
+    # Shape 3: every curve rises with load (no protocol is load-insensitive).
+    for name, points in curves.items():
+        assert mean_high(points) > mean_low(points), f"{name} did not rise"
+    # Shape 4: everything offered in the window was delivered (stable runs).
+    for points in curves.values():
+        for point in points:
+            assert point.loss_fraction < 0.02

@@ -1,0 +1,73 @@
+"""Figure 3 — L-/P-Consensus (n = 4) vs Paxos (n = 3), latency vs throughput.
+
+Reproduces the paper's Figure 3: the one-step protocols trade Paxos's extra
+communication step for a heavier (decentralised) message pattern.
+
+Paper's findings, asserted as curve shapes:
+* at low throughput L-/P-Consensus beat Paxos (2 delta + WAB vs 3 delta);
+* "from a throughput of 300 msg/s upwards, Paxos slightly outperforms both
+  protocols" — the curves cross in the hundreds of msg/s.
+"""
+
+import statistics
+
+from repro.harness.factories import cabcast_l, cabcast_p, multipaxos_abcast
+from repro.workload.experiment import latency_vs_throughput
+
+from conftest import once
+
+THROUGHPUTS = (20, 50, 80, 100, 150, 200, 250, 300, 350, 400, 450, 500)
+DURATION = 3.0
+WARMUP = 0.5
+
+
+def test_fig3(benchmark, report):
+    def experiment():
+        return {
+            "P-Consensus": latency_vs_throughput(
+                cabcast_p, 4, THROUGHPUTS, duration=DURATION, warmup=WARMUP, seed=202
+            ),
+            "L-Consensus": latency_vs_throughput(
+                cabcast_l, 4, THROUGHPUTS, duration=DURATION, warmup=WARMUP, seed=202
+            ),
+            "Paxos": latency_vs_throughput(
+                multipaxos_abcast, 3, THROUGHPUTS, duration=DURATION, warmup=WARMUP, seed=202
+            ),
+        }
+
+    curves = once(benchmark, experiment)
+
+    report.line("Figure 3 — mean latency [ms] vs throughput [msg/s]")
+    report.line("L-/P-Consensus at n = 4, Paxos at n = 3 (as in the paper)")
+    report.line("=" * 66)
+    header = f"{'throughput':<12}" + "".join(f"{name:<14}" for name in curves)
+    report.line(header)
+    for i, rate in enumerate(THROUGHPUTS):
+        row = f"{rate:<12}"
+        for name in curves:
+            row += f"{curves[name][i].mean_latency_ms:<14.2f}"
+        report.line(row)
+    report.emit("fig3")
+
+    def window(points, lo, hi):
+        return statistics.fmean(
+            p.mean_latency_ms for p in points if lo <= p.throughput <= hi
+        )
+
+    lp_low = min(
+        window(curves["L-Consensus"], 20, 100), window(curves["P-Consensus"], 20, 100)
+    )
+    paxos_low = window(curves["Paxos"], 20, 100)
+    lp_high = min(
+        window(curves["L-Consensus"], 350, 500), window(curves["P-Consensus"], 350, 500)
+    )
+    paxos_high = window(curves["Paxos"], 350, 500)
+
+    # Shape 1: L/P faster than Paxos at low throughput.
+    assert lp_low < paxos_low
+    # Shape 2: Paxos at least slightly ahead at high throughput (crossover).
+    assert paxos_high < lp_high
+    # Shape 3: nothing was lost (stable runs).
+    for points in curves.values():
+        for point in points:
+            assert point.loss_fraction < 0.02

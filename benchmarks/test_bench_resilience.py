@@ -1,0 +1,85 @@
+"""Ablation A5 — the resilience/latency trade (section 2's e/f analysis).
+
+The paper recounts Lamport's generalisation of one-step consensus:
+``n - e`` equal values decide in one step, ``n - f`` processes make
+progress, requiring ``n > max(2f, 2e + f)``.  Maximising ``e`` gives the
+``f < n/3`` regime of Brasileiro and of the paper's own protocols;
+maximising ``f`` gives one-step consensus that tolerates a *minority* of
+crashes (``f < n/2``) but needs ``e ≤ n/4`` near-unanimity to go fast.
+
+This bench sweeps the legal (e, f) corners for several group sizes and
+measures, per corner: whether unanimity still decides in one step after
+``e`` crashes, and after ``f`` crashes (where the fast quorum is dead and
+the fallback must finish the job).
+"""
+
+from repro.harness import run_consensus
+from repro.protocols import LamportOneStepConsensus, PaxosConsensus
+
+from conftest import once
+
+
+def corner_factory(e, f):
+    def factory(pid, env, oracle, host):
+        return LamportOneStepConsensus(
+            env,
+            lambda senv: PaxosConsensus(senv, oracle.omega(pid), f=f),
+            f=f,
+            e=e,
+        )
+
+    return factory
+
+
+def measure(n, e, f):
+    """(steps with e crashes, steps with f crashes), unanimous proposals."""
+    proposals = {p: "v" for p in range(n)}
+    with_e = run_consensus(
+        corner_factory(e, f),
+        proposals,
+        seed=1,
+        initially_crashed=tuple(range(n - e, n)),
+        horizon=10.0,
+    )
+    with_f = run_consensus(
+        corner_factory(e, f),
+        proposals,
+        seed=2,
+        initially_crashed=tuple(range(n - f, n)),
+        horizon=10.0,
+    )
+    return with_e.min_steps, with_f.min_steps
+
+
+def test_resilience_corners(benchmark, report):
+    # (n, e, f) legal corners: max-e (Brasileiro regime) and max-f regimes.
+    corners = [
+        (4, 1, 1),  # n > 3f: the paper's regime
+        (5, 1, 2),  # f < n/2 with a small fast threshold
+        (7, 2, 2),  # Brasileiro regime at n=7
+        (7, 1, 3),  # max crash tolerance at n=7
+        (9, 2, 4),  # e = n/4 bound with f < n/2
+    ]
+
+    def experiment():
+        return {(n, e, f): measure(n, e, f) for n, e, f in corners}
+
+    results = once(benchmark, experiment)
+
+    report.line("Ablation A5 — one-step resilience corners (n > max(2f, 2e+f))")
+    report.line("=" * 66)
+    report.line(
+        f"{'n':<4}{'e':<4}{'f':<4}{'steps w/ e crashes':<20}{'steps w/ f crashes':<20}"
+    )
+    for (n, e, f), (steps_e, steps_f) in results.items():
+        report.line(f"{n:<4}{e:<4}{f:<4}{steps_e:<20}{steps_f:<20}")
+    report.line()
+    report.line("With <= e crashes unanimity still decides in ONE step; beyond e")
+    report.line("the fast quorum n-e is unreachable and the fallback (1 + Paxos)")
+    report.line("finishes — progress holds up to f crashes.")
+    report.emit("ablation_resilience")
+
+    for (n, e, f), (steps_e, steps_f) in results.items():
+        assert steps_e == 1, f"(n={n},e={e},f={f}) lost the fast path within e crashes"
+        if f > e:
+            assert steps_f >= 3, f"(n={n},e={e},f={f}) should have needed the fallback"

@@ -1,0 +1,110 @@
+"""repro — One-step Consensus with Zero-Degradation (Dobre & Suri, DSN 2006).
+
+A from-scratch reproduction of the paper's protocols, substrates and
+evaluation:
+
+* :mod:`repro.core` — L-Consensus (Ω), P-Consensus (◇P), C-Abcast, and the
+  executable Theorem-1 lower bound;
+* :mod:`repro.protocols` — the baselines: Paxos, Multi-Paxos atomic
+  broadcast, WABCast and Brasileiro's one-step consensus;
+* :mod:`repro.sim` — deterministic discrete-event substrate (network, nodes,
+  failure injection) replacing the paper's Neko framework and cluster;
+* :mod:`repro.runtime` — asyncio runtime executing the same protocol code
+  live;
+* :mod:`repro.fd` — Ω and ◇P failure detectors (oracle and heartbeat);
+* :mod:`repro.oracles` — the WAB spontaneous-order oracle;
+* :mod:`repro.workload`, :mod:`repro.harness`, :mod:`repro.analysis` — the
+  evaluation machinery behind Table 1 and Figures 1-3.
+
+Quickstart::
+
+    from repro import run_consensus, LConsensus
+
+    def make(pid, env, oracle, host):
+        return LConsensus(env, oracle.omega(pid))
+
+    result = run_consensus(make, {0: "a", 1: "b", 2: "c", 3: "d"})
+    assert len(set(result.decisions.values())) == 1
+"""
+
+from repro.core import (
+    ConsensusModule,
+    Decide,
+    DecisionRecord,
+    LConsensus,
+    PConsensus,
+)
+from repro.core.abcast_base import AbcastModule, AppMessage
+from repro.core.cabcast import CAbcast
+from repro.errors import (
+    AgreementViolation,
+    ConfigurationError,
+    IntegrityViolation,
+    ProtocolViolation,
+    ReproError,
+    SimulationError,
+    TerminationFailure,
+    TotalOrderViolation,
+    ValidityViolation,
+)
+from repro.fd import (
+    HeartbeatSuspector,
+    OmegaView,
+    OracleFailureDetector,
+    SuspectView,
+)
+from repro.harness import run_consensus
+from repro.harness.abcast_runner import run_abcast
+from repro.oracles import WabOracle
+from repro.protocols import (
+    BrasileiroConsensus,
+    MultiPaxosAbcast,
+    PaxosConsensus,
+    WabCast,
+)
+from repro.sim import Cluster, Environment, Process, Simulator
+from repro.workload import latency_vs_throughput
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "ConsensusModule",
+    "Decide",
+    "DecisionRecord",
+    "LConsensus",
+    "PConsensus",
+    "CAbcast",
+    "AbcastModule",
+    "AppMessage",
+    # baselines
+    "BrasileiroConsensus",
+    "MultiPaxosAbcast",
+    "PaxosConsensus",
+    "WabCast",
+    # substrates
+    "Cluster",
+    "Environment",
+    "Process",
+    "Simulator",
+    "OmegaView",
+    "SuspectView",
+    "OracleFailureDetector",
+    "HeartbeatSuspector",
+    "WabOracle",
+    # harness
+    "run_consensus",
+    "run_abcast",
+    "latency_vs_throughput",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "ProtocolViolation",
+    "AgreementViolation",
+    "ValidityViolation",
+    "IntegrityViolation",
+    "TotalOrderViolation",
+    "TerminationFailure",
+]

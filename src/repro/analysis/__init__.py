@@ -1,0 +1,5 @@
+"""Analytical models backing the paper's Table 1."""
+
+from repro.analysis.complexity import INFINITY, ProtocolRow, format_table1, table1
+
+__all__ = ["INFINITY", "ProtocolRow", "format_table1", "table1"]

@@ -1,0 +1,108 @@
+"""Analytical comparison of the atomic broadcast protocols (Table 1).
+
+The paper compares Paxos, WABCast and L-/P-Consensus(+C-Abcast) in terms of
+time complexity (latency in units of the maximum network delay δ), message
+complexity, resilience, and the oracle used for termination:
+
+=============  ==================  =====================  ==========  ========
+Protocol       latency (no coll.)  #messages (no coll.)   resilience  oracle
+=============  ==================  =====================  ==========  ========
+Paxos          3δ                  n² + n + 1             f < n/2     Ω
+WABCast        2δ ; ∞ w/ coll.     n² + n ; ∞ w/ coll.    f < n/3     WAB
+L-/P-Cons.     2δ ; 3δ w/ coll.    n² + n ; 2n² + n       f < n/3     Ω / ◇P
+=============  ==================  =====================  ==========  ========
+
+:func:`table1` renders those closed forms for any ``n``; the Table-1 bench
+cross-checks them against message counts and step counts *measured* on the
+simulator (see ``benchmarks/test_bench_table1.py``).
+
+Message-count conventions (matching the paper's): one a-broadcast with no
+collisions costs one WAB instance (n datagrams) plus one all-to-all
+proposal round (n²) for the one-step protocols — ``n² + n``; under
+collisions a second proposal round is needed — ``2n² + n``.  Paxos costs the
+relay to the leader (1), the leader's ACCEPT (n) and the all-to-all ACCEPTED
+(n²).  Decision-forwarding (task T2) traffic is excluded, as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ProtocolRow", "table1", "format_table1", "INFINITY"]
+
+INFINITY = math.inf
+
+
+@dataclass(frozen=True)
+class ProtocolRow:
+    """One row of Table 1."""
+
+    protocol: str
+    latency_no_collisions: float  # in units of δ
+    latency_collisions: float  # in units of δ; inf = may not terminate
+    messages_no_collisions: int
+    messages_collisions: float  # inf = unbounded under sustained collisions
+    resilience: str
+    oracle: str
+
+    def latency_seconds(self, delta: float, collisions: bool = False) -> float:
+        """Concrete latency for a given maximum network delay δ."""
+        steps = self.latency_collisions if collisions else self.latency_no_collisions
+        return steps * delta
+
+
+def table1(n: int) -> list[ProtocolRow]:
+    """The three rows of Table 1, instantiated for group size ``n``."""
+    if n < 2:
+        raise ConfigurationError(f"need n >= 2 processes, got {n}")
+    return [
+        ProtocolRow(
+            protocol="Paxos",
+            latency_no_collisions=3,
+            latency_collisions=3,
+            messages_no_collisions=n * n + n + 1,
+            messages_collisions=n * n + n + 1,
+            resilience="f < n/2",
+            oracle="Omega",
+        ),
+        ProtocolRow(
+            protocol="WABCast",
+            latency_no_collisions=2,
+            latency_collisions=INFINITY,
+            messages_no_collisions=n * n + n,
+            messages_collisions=INFINITY,
+            resilience="f < n/3",
+            oracle="WAB",
+        ),
+        ProtocolRow(
+            protocol="L-/P-Consensus",
+            latency_no_collisions=2,
+            latency_collisions=3,
+            messages_no_collisions=n * n + n,
+            messages_collisions=2 * n * n + n,
+            resilience="f < n/3",
+            oracle="Omega / <>P",
+        ),
+    ]
+
+
+def format_table1(n: int) -> str:
+    """Human-readable rendering of Table 1 for group size ``n``."""
+
+    def fmt(value: float) -> str:
+        return "inf" if value is math.inf else str(int(value))
+
+    lines = [
+        f"Table 1 (n = {n}): no collisions ; collisions",
+        f"{'Protocol':<16}{'latency':<12}{'#messages':<16}{'Resil.':<10}Oracle",
+    ]
+    for row in table1(n):
+        latency = f"{fmt(row.latency_no_collisions)}d ; {fmt(row.latency_collisions)}d"
+        messages = f"{fmt(row.messages_no_collisions)} ; {fmt(row.messages_collisions)}"
+        lines.append(
+            f"{row.protocol:<16}{latency:<12}{messages:<16}{row.resilience:<10}{row.oracle}"
+        )
+    return "\n".join(lines)

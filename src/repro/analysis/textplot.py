@@ -1,0 +1,82 @@
+"""Terminal line charts for experiment output.
+
+Dependency-free ASCII rendering used by the CLI and the benches to draw the
+latency/throughput curves of Figures 2 and 3 next to the numeric tables.
+One character column per x sample, one glyph per series, shared y scale.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["line_chart"]
+
+_GLYPHS = "*o+x#@%&"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[object],
+    height: int = 12,
+    width_per_point: int = 5,
+    y_format: str = "{:.2f}",
+    title: str | None = None,
+) -> str:
+    """Render ``series`` (name -> y values, aligned with ``x_labels``) as text.
+
+    >>> print(line_chart({"a": [1.0, 2.0]}, [10, 20], height=3))  # doctest: +SKIP
+    """
+    if not series:
+        raise ConfigurationError("line_chart needs at least one series")
+    lengths = {len(values) for values in series.values()}
+    if lengths != {len(x_labels)}:
+        raise ConfigurationError("every series must align with x_labels")
+    if height < 2:
+        raise ConfigurationError("height must be at least 2")
+
+    all_values = [v for values in series.values() for v in values]
+    if any(v != v for v in all_values):  # NaN check without math import
+        raise ConfigurationError("line_chart cannot plot NaN values")
+    lo, hi = min(all_values), max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+    span = hi - lo
+
+    def row_of(value: float) -> int:
+        return round((value - lo) / span * (height - 1))
+
+    columns = len(x_labels)
+    grid = [[" "] * (columns * width_per_point) for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for col, value in enumerate(values):
+            row = height - 1 - row_of(value)
+            grid[row][col * width_per_point] = glyph
+
+    label_width = max(len(y_format.format(v)) for v in (lo, hi)) + 1
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        # Label the top, middle and bottom rows with their y values.
+        if row_index == 0:
+            label = y_format.format(hi)
+        elif row_index == height - 1:
+            label = y_format.format(lo)
+        elif row_index == height // 2:
+            label = y_format.format(lo + span * (height - 1 - row_index) / (height - 1))
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * (columns * width_per_point))
+    x_line = " " * (label_width + 2)
+    for x in x_labels:
+        x_line += f"{str(x):<{width_per_point}}"
+    lines.append(x_line)
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,211 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+``python -m repro <command>`` exposes the main entry points:
+
+* ``consensus`` — one consensus instance on a simulated cluster;
+* ``abcast``    — an atomic-broadcast session with a Poisson workload;
+* ``sweep``     — the Figure-2/3 latency-vs-throughput experiment, with an
+  ASCII chart;
+* ``table1``    — the analytical Table 1 for a given group size;
+* ``theorem1``  — the executable Theorem-1 impossibility certificate.
+
+Examples::
+
+    python -m repro consensus --protocol p-consensus --proposals a,b,c,d
+    python -m repro abcast --protocol cabcast-l --rate 200 --duration 1.0
+    python -m repro sweep --protocols cabcast-p,wabcast --rates 20,100,300,500
+    python -m repro theorem1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.complexity import format_table1
+from repro.analysis.textplot import line_chart
+from repro.harness.abcast_runner import run_abcast
+from repro.harness.consensus_runner import run_consensus
+from repro.harness.factories import ABCAST_FACTORIES, CONSENSUS_FACTORIES
+from repro.workload.experiment import latency_vs_throughput
+from repro.workload.generator import poisson_schedule
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="One-step Consensus with Zero-Degradation (DSN 2006) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_cons = sub.add_parser("consensus", help="run one consensus instance")
+    p_cons.add_argument(
+        "--protocol", choices=sorted(CONSENSUS_FACTORIES), default="p-consensus"
+    )
+    p_cons.add_argument(
+        "--proposals",
+        default="a,b,c,d",
+        help="comma-separated proposals, one per process (defines n)",
+    )
+    p_cons.add_argument("--seed", type=int, default=0)
+    p_cons.add_argument(
+        "--crash",
+        action="append",
+        default=[],
+        metavar="PID:TIME",
+        help="crash PID at TIME seconds (repeatable)",
+    )
+    p_cons.add_argument("--detection-delay", type=float, default=0.0)
+
+    p_ab = sub.add_parser("abcast", help="run an atomic-broadcast session")
+    p_ab.add_argument(
+        "--protocol", choices=sorted(ABCAST_FACTORIES), default="cabcast-p"
+    )
+    p_ab.add_argument("--n", type=int, default=4)
+    p_ab.add_argument("--rate", type=float, default=100.0, help="aggregate msg/s")
+    p_ab.add_argument("--duration", type=float, default=0.5)
+    p_ab.add_argument("--seed", type=int, default=0)
+
+    p_sweep = sub.add_parser("sweep", help="latency vs throughput (Figures 2-3)")
+    p_sweep.add_argument(
+        "--protocols",
+        default="cabcast-p,cabcast-l,wabcast",
+        help="comma-separated names from: " + ",".join(sorted(ABCAST_FACTORIES)),
+    )
+    p_sweep.add_argument("--rates", default="20,100,300,500")
+    p_sweep.add_argument("--n", type=int, default=4)
+    p_sweep.add_argument("--duration", type=float, default=1.5)
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("--no-chart", action="store_true")
+
+    p_t1 = sub.add_parser("table1", help="print the analytical Table 1")
+    p_t1.add_argument("--n", type=int, default=4)
+
+    p_thm = sub.add_parser("theorem1", help="derive the Theorem-1 certificate")
+    p_thm.add_argument(
+        "--full",
+        action="store_true",
+        help="search the unrestricted hear-set space (slower)",
+    )
+
+    return parser
+
+
+def _cmd_consensus(args: argparse.Namespace) -> int:
+    values = args.proposals.split(",")
+    proposals = {pid: value for pid, value in enumerate(values)}
+    crash_at = {}
+    for item in args.crash:
+        pid_text, _, time_text = item.partition(":")
+        crash_at[int(pid_text)] = float(time_text)
+    result = run_consensus(
+        CONSENSUS_FACTORIES[args.protocol],
+        proposals,
+        seed=args.seed,
+        crash_at=crash_at or None,
+        detection_delay=args.detection_delay,
+        horizon=30.0,
+    )
+    print(f"protocol : {args.protocol} (n={len(values)})")
+    print(f"proposals: {proposals}")
+    for pid, record in sorted(result.records.items()):
+        print(
+            f"  p{pid} decided {record.value!r} after {record.steps} step(s) "
+            f"via {record.via} at t={record.at * 1e3:.3f} ms"
+        )
+    if result.crashed:
+        print(f"crashed  : {result.crashed}")
+    print(f"messages : {result.messages_sent}")
+    return 0
+
+
+def _cmd_abcast(args: argparse.Namespace) -> int:
+    schedules = poisson_schedule(args.n, args.rate, args.duration, seed=args.seed)
+    result = run_abcast(
+        ABCAST_FACTORIES[args.protocol],
+        args.n,
+        schedules,
+        seed=args.seed,
+        horizon=args.duration + 2.0,
+    )
+    sent = sum(len(s) for s in schedules.values())
+    latencies = result.latencies()
+    mean_ms = sum(latencies) / len(latencies) * 1e3 if latencies else float("nan")
+    print(f"protocol : {args.protocol} (n={args.n})")
+    print(f"offered  : {sent} messages at {args.rate:.0f} msg/s")
+    print(f"delivered: {result.delivered_count} (total order verified)")
+    print(f"latency  : mean {mean_ms:.3f} ms over {len(latencies)} samples")
+    print(f"messages : {result.network_stats['sent']} on the wire")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    names = [name.strip() for name in args.protocols.split(",") if name.strip()]
+    unknown = [name for name in names if name not in ABCAST_FACTORIES]
+    if unknown:
+        print(f"unknown protocols: {unknown}", file=sys.stderr)
+        return 2
+    rates = [float(r) for r in args.rates.split(",")]
+    curves = {}
+    for name in names:
+        n = 3 if name == "multipaxos" else args.n
+        print(f"sweeping {name} (n={n}) ...", file=sys.stderr)
+        curves[name] = latency_vs_throughput(
+            ABCAST_FACTORIES[name],
+            n,
+            rates,
+            duration=args.duration,
+            warmup=min(0.5, args.duration * 0.2),
+            seed=args.seed,
+        )
+    print(f"{'msg/s':<10}" + "".join(f"{name:<16}" for name in names))
+    for i, rate in enumerate(rates):
+        row = f"{rate:<10.0f}"
+        for name in names:
+            row += f"{curves[name][i].mean_latency_ms:<16.2f}"
+        print(row)
+    if not args.no_chart:
+        print()
+        print(
+            line_chart(
+                {name: [p.mean_latency_ms for p in pts] for name, pts in curves.items()},
+                [int(r) for r in rates],
+                title="mean latency [ms] vs throughput [msg/s]",
+            )
+        )
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    print(format_table1(args.n))
+    return 0
+
+
+def _cmd_theorem1(args: argparse.Namespace) -> int:
+    from repro.core.lowerbound import prove_theorem1
+
+    restrict = None if args.full else [(1, 2, 3), (1, 2, 4), (1, 3, 4), (2, 3, 4)]
+    certificate = prove_theorem1(restrict_hears=restrict)
+    print(certificate.explain())
+    return 0
+
+
+_COMMANDS = {
+    "consensus": _cmd_consensus,
+    "abcast": _cmd_abcast,
+    "sweep": _cmd_sweep,
+    "table1": _cmd_table1,
+    "theorem1": _cmd_theorem1,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

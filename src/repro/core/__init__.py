@@ -1,0 +1,20 @@
+"""The paper's primary contribution: L-Consensus, P-Consensus, C-Abcast,
+and the executable Theorem-1 lower bound."""
+
+from repro.core.interfaces import ConsensusModule, Decide, DecisionRecord
+from repro.core.lconsensus import LConsensus, LProp
+from repro.core.pconsensus import PConsensus, PProp
+from repro.core.values import canonical_key, majority_value, value_with_count_at_least
+
+__all__ = [
+    "ConsensusModule",
+    "Decide",
+    "DecisionRecord",
+    "LConsensus",
+    "LProp",
+    "PConsensus",
+    "PProp",
+    "canonical_key",
+    "majority_value",
+    "value_with_count_at_least",
+]

@@ -1,0 +1,112 @@
+"""Shared machinery for atomic-broadcast protocol modules.
+
+All three atomic broadcast implementations in this repository — the paper's
+C-Abcast, the WABCast baseline and the Multi-Paxos baseline — expose the same
+two-primitive interface from section 3.3 (``a_broadcast`` / an ``on_deliver``
+upcall), so the workload harness and the safety checkers treat them
+uniformly.
+
+Messages are :class:`AppMessage` records identified by ``(origin, seq)``;
+batches decided by consensus are delivered "atomically in some deterministic
+order" (algorithm 3, line 10) — here: sorted by ``(origin, seq)``, a total
+order available identically at every process.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.sim.process import Environment
+
+__all__ = ["AppMessage", "AbcastModule", "deterministic_batch_order"]
+
+
+@dataclass(frozen=True)
+class AppMessage:
+    """An application payload wrapped for atomic broadcast.
+
+    ``origin`` and ``seq`` identify the message uniquely; ``sent_at`` is the
+    a-broadcast timestamp used by the latency metrics (it rides along in the
+    identity, which is harmless since the tuple is unique anyway).
+    """
+
+    origin: int
+    seq: int
+    payload: Any
+    sent_at: float
+
+    @property
+    def msg_id(self) -> tuple[int, int]:
+        return (self.origin, self.seq)
+
+
+def deterministic_batch_order(batch: Iterable[AppMessage]) -> list[AppMessage]:
+    """The paper's "deterministic order" for intra-batch delivery."""
+    return sorted(batch, key=lambda m: (m.origin, m.seq))
+
+
+class AbcastModule(abc.ABC):
+    """Base class for atomic broadcast modules hosted inside a process."""
+
+    def __init__(
+        self,
+        env: Environment,
+        on_deliver: Callable[[AppMessage], None] | None = None,
+    ) -> None:
+        self.env = env
+        self._on_deliver = on_deliver
+        self._next_seq = 0
+        self.delivered: list[AppMessage] = []
+        self._delivered_ids: set[tuple[int, int]] = set()
+        self.broadcast_log: list[AppMessage] = []
+
+    # ------------------------------------------------------------- public API
+
+    def set_on_deliver(self, fn: Callable[[AppMessage], None]) -> None:
+        self._on_deliver = fn
+
+    def a_broadcast(self, payload: Any) -> AppMessage:
+        """Atomically broadcast ``payload``; returns the wrapped message."""
+        self._next_seq += 1
+        message = AppMessage(self.env.pid, self._next_seq, payload, self.env.now())
+        self.broadcast_log.append(message)
+        self._submit(message)
+        return message
+
+    @property
+    def delivered_ids(self) -> list[tuple[int, int]]:
+        """Delivery sequence as ids (what the total-order checker consumes)."""
+        return [m.msg_id for m in self.delivered]
+
+    # ------------------------------------------------------ subclass contract
+
+    @abc.abstractmethod
+    def _submit(self, message: AppMessage) -> None:
+        """Inject a locally a-broadcast message into the protocol."""
+
+    @abc.abstractmethod
+    def on_message(self, src: int, msg: Any) -> None:
+        """Protocol message dispatch (called by the hosting process)."""
+
+    def on_timer(self, name: Any) -> None:
+        """Most abcast modules are timer-free; Multi-Paxos overrides."""
+
+    def on_start(self) -> None:
+        """Called once when the hosting node boots."""
+
+    # --------------------------------------------------------------- delivery
+
+    def _deliver_batch(self, batch: Iterable[AppMessage]) -> list[AppMessage]:
+        """Deliver every not-yet-delivered message of ``batch`` in order."""
+        fresh = []
+        for message in deterministic_batch_order(batch):
+            if message.msg_id in self._delivered_ids:
+                continue
+            self._delivered_ids.add(message.msg_id)
+            self.delivered.append(message)
+            fresh.append(message)
+            if self._on_deliver is not None:
+                self._on_deliver(message)
+        return fresh

@@ -1,0 +1,175 @@
+"""Property checker for concrete decision rules in the lower-bound model.
+
+Given a :class:`~repro.core.lowerbound.rules.DecisionRule`, the checker
+sweeps the (rule-realizable) stable run space and reports, with witnesses:
+
+* **one-step failures** — round-1 states with ``n - f`` equal values where
+  the rule keeps waiting or decides late/wrong (Definition 1);
+* **zero-degradation failures** — stable runs in which some process reaches
+  the end of round 2 undecided (Definition 3);
+* **safety violations** — runs whose decisions disagree, or decide a value
+  nobody proposed.
+
+Theorem 1 guarantees that every rule fails at least one category; the test
+suite checks that each of the three reference rules fails *exactly* the
+expected one.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.lowerbound.model import (
+    F,
+    N,
+    PIDS,
+    RunSpec,
+    format_state1,
+    hear_options,
+    state1,
+    state2,
+)
+from repro.core.lowerbound.rules import DecisionRule
+
+__all__ = ["RuleReport", "check_rule"]
+
+
+@dataclass
+class RuleReport:
+    """Verdict for one decision rule."""
+
+    rule: str
+    one_step_failures: list[str] = field(default_factory=list)
+    zero_degradation_failures: list[str] = field(default_factory=list)
+    safety_violations: list[str] = field(default_factory=list)
+    runs_checked: int = 0
+
+    @property
+    def is_one_step(self) -> bool:
+        return not self.one_step_failures
+
+    @property
+    def is_zero_degrading(self) -> bool:
+        return not self.zero_degradation_failures
+
+    @property
+    def is_safe(self) -> bool:
+        return not self.safety_violations
+
+    def summary(self) -> str:
+        def mark(ok: bool) -> str:
+            return "yes" if ok else "NO"
+
+        return (
+            f"{self.rule}: one-step={mark(self.is_one_step)} "
+            f"zero-degrading={mark(self.is_zero_degrading)} "
+            f"safe={mark(self.is_safe)} ({self.runs_checked} runs)"
+        )
+
+
+def _one_step_states() -> list[tuple]:
+    """Every round-1 state with n - f equal values (one missing entry)."""
+    states = []
+    for missing in PIDS:
+        for v in (0, 1):
+            states.append(tuple(None if q == missing else v for q in PIDS))
+    return states
+
+
+def check_rule(
+    rule: DecisionRule,
+    max_violations: int = 5,
+    restrict_hears: list[tuple[int, ...]] | None = None,
+) -> RuleReport:
+    """Sweep the stable run space and grade ``rule`` on the three properties."""
+    report = RuleReport(rule=rule.name)
+
+    # --- one-step obligations are state-level; check them directly.
+    for s1 in _one_step_states():
+        values = {v for v in s1 if v is not None}
+        v = values.pop()
+        pid = next(q for q in PIDS if s1[q - 1] is not None)
+        if not rule.acceptable1(pid, s1):
+            report.one_step_failures.append(
+                f"p{pid} keeps waiting in state {format_state1(s1)} "
+                f"instead of deciding {v} in one step"
+            )
+        else:
+            decided = rule.decide1(pid, s1)
+            if decided != v:
+                report.one_step_failures.append(
+                    f"p{pid} in state {format_state1(s1)} decides {decided!r}, "
+                    f"one-step requires {v}"
+                )
+
+    # --- zero-degradation and safety need the run sweep.
+    per_pid = []
+    for pid in PIDS:
+        options = hear_options(pid)
+        if restrict_hears is not None:
+            options = [o for o in options if o in restrict_hears] or options
+        per_pid.append(options)
+
+    for initial in itertools.product((0, 1), repeat=N):
+        for hears1 in itertools.product(*per_pid):
+            for hears2 in itertools.product(*per_pid):
+                spec = RunSpec(tuple(initial), hears1, hears2)
+                states1 = {pid: state1(spec, pid) for pid in PIDS}
+                # The run is realizable for this rule only if every process
+                # is willing to end its rounds on the chosen hear-sets (a
+                # process that already decided in round 1 no longer waits).
+                realizable = True
+                for pid in PIDS:
+                    decided_r1 = (
+                        rule.acceptable1(pid, states1[pid])
+                        and rule.decide1(pid, states1[pid]) is not None
+                    )
+                    if not rule.acceptable1(pid, states1[pid]):
+                        realizable = False
+                        break
+                    if not decided_r1 and not rule.acceptable2(pid, state2(spec, pid)):
+                        realizable = False
+                        break
+                if not realizable:
+                    continue
+                report.runs_checked += 1
+
+                decisions: dict[int, int] = {}
+                undecided: list[int] = []
+                for pid in PIDS:
+                    d = rule.decide1(pid, states1[pid])
+                    if d is None:
+                        d = rule.decide2(pid, state2(spec, pid))
+                    if d is None:
+                        undecided.append(pid)
+                    else:
+                        decisions[pid] = d
+
+                if undecided and len(report.zero_degradation_failures) < max_violations:
+                    report.zero_degradation_failures.append(
+                        f"{_describe(spec)}: p{undecided} undecided after round 2 "
+                        f"of a stable run"
+                    )
+                distinct = set(decisions.values())
+                if len(distinct) > 1 and len(report.safety_violations) < max_violations:
+                    report.safety_violations.append(
+                        f"{_describe(spec)}: agreement violated — decisions {decisions}"
+                    )
+                bad = distinct - set(initial)
+                if bad and len(report.safety_violations) < max_violations:
+                    report.safety_violations.append(
+                        f"{_describe(spec)}: validity violated — decided {bad}, "
+                        f"proposed {set(initial)}"
+                    )
+    return report
+
+
+def _describe(spec: RunSpec) -> str:
+    initial = "".join(str(v) for v in spec.initial)
+    hears = ";".join(
+        f"p{pid}<{''.join(map(str, spec.hears1[pid - 1]))}|"
+        f"{''.join(map(str, spec.hears2[pid - 1]))}>"
+        for pid in PIDS
+    )
+    return f"run(init={initial} {hears})"

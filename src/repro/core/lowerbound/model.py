@@ -1,0 +1,164 @@
+"""Full-information run model behind the Theorem-1 lower bound (section 4).
+
+The proof of Theorem 1 argues about two-round runs of an arbitrary
+*full-information* protocol for ``n = 4, f = 1``: in every round each process
+broadcasts its complete state and then acts on the messages received from
+``n - f = 3`` processes (one entry missing — waiting for the fourth message
+is not fault-tolerant, so the adversary may withhold it).
+
+This module is the executable version of the proof's "Preliminary notes":
+
+* a :class:`RunSpec` fixes the initial values and, per round, which
+  3-process subset (always containing itself) each process hears;
+* :func:`state1` / :func:`state2` compute the paper's state vectors — a
+  process's state after round 1 is the received initial values
+  (``011-`` style), after round 2 the vector of round-1 states of the
+  processes heard (the ``s1 .. s5`` matrices of Figure 1);
+* Ω outputs ``p1`` at every process throughout, exactly as in the proof
+  ("Ω outputs the same leader process p1 at all processes in every run
+  considered in the proof"), so every run in the model is *stable* in the
+  sense of Definition 2 and the zero-degradation obligation applies to all
+  of them;
+* a run is *one-step-obliging* for process ``i`` when ``i``'s round-1 state
+  shows ``n - f`` equal values ``v``: such a state is indistinguishable from
+  a state in a run where all proposals equal ``v`` and the missing process
+  crashed initially, so a one-step protocol must already have decided ``v``
+  (Definition 1 applied through indistinguishability).
+
+Processes are numbered 1..4 in this package to match Figure 1.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "PIDS",
+    "N",
+    "F",
+    "LEADER",
+    "RunSpec",
+    "state1",
+    "state2",
+    "one_step_value",
+    "hear_options",
+    "iter_runs",
+    "format_state1",
+]
+
+PIDS: tuple[int, ...] = (1, 2, 3, 4)
+N = 4
+F = 1
+LEADER = 1  # Ω outputs p1 everywhere, as in the proof.
+
+State1 = tuple  # 4 entries: initial value heard, or None
+State2 = tuple  # 4 entries: State1 of the process heard, or None
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A two-round run: initial values plus per-round hear-sets.
+
+    ``hears1[i]`` / ``hears2[i]`` are the (sorted) 3-tuples of pids process
+    ``i + 1`` hears in rounds 1 and 2.  Every hear-set contains the process
+    itself (its own message is always available).
+    """
+
+    initial: tuple[int, int, int, int]
+    hears1: tuple[tuple[int, ...], ...]
+    hears2: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.initial) != N or len(self.hears1) != N or len(self.hears2) != N:
+            raise ConfigurationError("RunSpec needs exactly 4 processes")
+        for i, pid in enumerate(PIDS):
+            for hears in (self.hears1[i], self.hears2[i]):
+                if len(hears) != N - F:
+                    raise ConfigurationError(
+                        f"p{pid} must hear exactly n-f={N - F} processes, got {hears}"
+                    )
+                if pid not in hears:
+                    raise ConfigurationError(f"p{pid}'s hear-set {hears} must contain itself")
+                if any(q not in PIDS for q in hears):
+                    raise ConfigurationError(f"unknown pid in hear-set {hears}")
+
+    def value_of(self, pid: int) -> int:
+        return self.initial[pid - 1]
+
+
+def state1(run: RunSpec, pid: int) -> State1:
+    """Process ``pid``'s state after round 1: the initial values it heard."""
+    heard = run.hears1[pid - 1]
+    return tuple(run.value_of(q) if q in heard else None for q in PIDS)
+
+
+def state2(run: RunSpec, pid: int) -> State2:
+    """Process ``pid``'s state after round 2: the round-1 states it heard.
+
+    Because each hear-set contains the process itself, ``state2`` determines
+    ``state1`` (its own entry), so any decision taken *by the end of round 2*
+    is a function of ``state2`` alone — the similarity notion of the proof.
+    """
+    heard = run.hears2[pid - 1]
+    return tuple(state1(run, q) if q in heard else None for q in PIDS)
+
+
+def one_step_value(s1: State1) -> int | None:
+    """The value a one-step protocol is obliged to decide in state ``s1``.
+
+    If the ``n - f`` received values are all equal to ``v``, the state is
+    indistinguishable from one arising in a run where every process proposed
+    ``v`` and the missing process crashed initially; Definition 1 then forces
+    an immediate decision, and Validity forces the value ``v``.
+    Returns None when the state carries no obligation.
+    """
+    values = {v for v in s1 if v is not None}
+    if len(values) == 1:
+        return values.pop()
+    return None
+
+
+def hear_options(pid: int) -> list[tuple[int, ...]]:
+    """All hear-sets available to the adversary for ``pid``: the 3-subsets
+    of {1..4} containing ``pid``."""
+    return [
+        tuple(sorted(combo))
+        for combo in itertools.combinations(PIDS, N - F)
+        if pid in combo
+    ]
+
+
+def iter_runs(
+    initials: Iterator[tuple[int, int, int, int]] | None = None,
+    restrict_hears: list[tuple[int, ...]] | None = None,
+) -> Iterator[RunSpec]:
+    """Enumerate the run space.
+
+    ``initials`` defaults to all 16 binary assignments; ``restrict_hears``
+    optionally limits each process's hear-set choices to those (of its own
+    admissible options) appearing in the given list — used to keep exhaustive
+    sweeps tractable.
+    """
+    if initials is None:
+        initials = itertools.product((0, 1), repeat=N)  # type: ignore[assignment]
+    per_pid = []
+    for pid in PIDS:
+        options = hear_options(pid)
+        if restrict_hears is not None:
+            options = [o for o in options if o in restrict_hears]
+        if not options:
+            raise ConfigurationError(f"restriction removed all hear-sets for p{pid}")
+        per_pid.append(options)
+    for initial in initials:
+        for hears1 in itertools.product(*per_pid):
+            for hears2 in itertools.product(*per_pid):
+                yield RunSpec(tuple(initial), hears1, hears2)
+
+
+def format_state1(s1: State1) -> str:
+    """Figure-1 rendering of a round-1 state, e.g. ``011-``."""
+    return "".join("-" if v is None else str(v) for v in s1)

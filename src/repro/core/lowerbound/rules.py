@@ -1,0 +1,176 @@
+"""Concrete decision rules for the lower-bound model.
+
+Each rule is a *full-information protocol skeleton* for the two-round model
+of :mod:`repro.core.lowerbound.model` (n = 4, f = 1, Ω ≡ p1):
+
+* :class:`NaiveCombinedRule` — the "obvious" combination sketched at the
+  start of section 4: Brasileiro's one-step round glued onto a leader round,
+  engineered to be both one-step and zero-degrading.  Theorem 1 says it
+  cannot be correct, and the checker exhibits its agreement violation.
+* :class:`LConsensusRule` — the decision structure of algorithm 1: waits for
+  the leader's message, decides on ``n - f`` leader-backed equal values.
+  Safe and zero-degrading, but *not* one-step (it refuses to act on a
+  leaderless quorum).
+* :class:`BrasileiroRule` — the decision structure of [2]: decides on
+  ``n - f`` equal first-round values, otherwise defers to an underlying
+  consensus (i.e. decides nothing by round 2).  Safe and one-step, but
+  *not* zero-degrading.
+
+Together the three rules trace the boundary of Theorem 1: each corner of
+{one-step, zero-degrading, safe} minus one is achievable, all three at once
+are not.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter
+
+from repro.core.lowerbound.model import LEADER, N, F, PIDS
+
+__all__ = ["DecisionRule", "NaiveCombinedRule", "LConsensusRule", "BrasileiroRule"]
+
+
+class DecisionRule(abc.ABC):
+    """A full-information protocol skeleton under Ω ≡ p1."""
+
+    name: str = "rule"
+
+    @abc.abstractmethod
+    def acceptable1(self, pid: int, s1: tuple) -> bool:
+        """May ``pid`` end round 1 in state ``s1`` (or would it keep waiting)?"""
+
+    def acceptable2(self, pid: int, s2: tuple) -> bool:
+        """May ``pid`` end round 2 in state ``s2``?  Defaults to round-1 rule."""
+        heard = tuple(q for q in PIDS if s2[q - 1] is not None)
+        return self._accepts_heard(heard)
+
+    @abc.abstractmethod
+    def decide1(self, pid: int, s1: tuple) -> int | None:
+        """Decision at the end of round 1, or None."""
+
+    @abc.abstractmethod
+    def decide2(self, pid: int, s2: tuple) -> int | None:
+        """Decision at the end of round 2 (given no round-1 decision), or None."""
+
+    def _accepts_heard(self, heard: tuple) -> bool:
+        return True
+
+    # ------------------------------------------------------------ conveniences
+
+    @staticmethod
+    def heard_values(s1: tuple) -> list[int]:
+        return [v for v in s1 if v is not None]
+
+    @staticmethod
+    def majority_at_least(values: list[int], threshold: int) -> int | None:
+        counts = Counter(values)
+        winners = [v for v, c in counts.items() if c >= threshold]
+        if not winners:
+            return None
+        # Deterministic tie-break (two winners can only happen below a strict
+        # majority threshold): highest count, then smallest value.
+        winners.sort(key=lambda v: (-counts[v], v))
+        return winners[0]
+
+
+def _estimate_after_round1(s1: tuple, own_pid: int) -> int:
+    """The round-2 proposal of the naive combined protocol.
+
+    Majority value if one appears at least ``n - 2f`` times (needed for
+    agreement with a one-step decider), else the leader's value if heard,
+    else the process's own value.
+    """
+    values = [v for v in s1 if v is not None]
+    majority = DecisionRule.majority_at_least(values, N - 2 * F)
+    if majority is not None:
+        return majority
+    if s1[LEADER - 1] is not None:
+        return s1[LEADER - 1]
+    return s1[own_pid - 1]
+
+
+class NaiveCombinedRule(DecisionRule):
+    """One-step + zero-degrading by construction — hence unsafe (Theorem 1)."""
+
+    name = "naive-combined"
+
+    def acceptable1(self, pid: int, s1: tuple) -> bool:
+        return True  # acts on any n - f messages: that is what one-step costs
+
+    def decide1(self, pid: int, s1: tuple) -> int | None:
+        values = self.heard_values(s1)
+        unanimous = self.majority_at_least(values, N - F)
+        return unanimous
+
+    def decide2(self, pid: int, s2: tuple) -> int | None:
+        # Zero-degradation forces a decision here.  Decide the leader-backed
+        # estimate if visible, else the majority estimate.
+        estimates = []
+        for q in PIDS:
+            inner = s2[q - 1]
+            if inner is not None:
+                estimates.append(_estimate_after_round1(inner, q))
+        leader_state = s2[LEADER - 1]
+        if leader_state is not None:
+            return _estimate_after_round1(leader_state, LEADER)
+        majority = self.majority_at_least(estimates, (len(estimates) // 2) + 1)
+        if majority is not None:
+            return majority
+        return estimates[0]
+
+
+class LConsensusRule(DecisionRule):
+    """Algorithm 1's decision structure: leader-waiting, leader-backed decisions."""
+
+    name = "l-consensus"
+
+    def _accepts_heard(self, heard: tuple) -> bool:
+        # Line 3: with Ω stuck on p1, a round never ends without p1's message.
+        return LEADER in heard
+
+    def acceptable1(self, pid: int, s1: tuple) -> bool:
+        return s1[LEADER - 1] is not None
+
+    def decide1(self, pid: int, s1: tuple) -> int | None:
+        values = self.heard_values(s1)
+        unanimous = self.majority_at_least(values, N - F)
+        if unanimous is not None and s1[LEADER - 1] == unanimous:
+            return unanimous  # line 4: n - f equal values backed by the leader
+        return None
+
+    def decide2(self, pid: int, s2: tuple) -> int | None:
+        # In a stable run every process adopted the leader's value after
+        # round 1 (line 7), so round 2 shows n - f equal leader-backed values.
+        estimates = []
+        for q in PIDS:
+            inner = s2[q - 1]
+            if inner is None:
+                continue
+            if inner[LEADER - 1] is not None:
+                estimates.append(inner[LEADER - 1])  # line 7 adoption
+            else:
+                estimates.append(_estimate_after_round1(inner, q))
+        unanimous = self.majority_at_least(estimates, N - F)
+        leader_state = s2[LEADER - 1]
+        if unanimous is not None and leader_state is not None:
+            return unanimous
+        return None
+
+
+class BrasileiroRule(DecisionRule):
+    """[2]'s decision structure: one-step vote, then an underlying consensus."""
+
+    name = "brasileiro"
+
+    def acceptable1(self, pid: int, s1: tuple) -> bool:
+        return True
+
+    def decide1(self, pid: int, s1: tuple) -> int | None:
+        values = self.heard_values(s1)
+        return self.majority_at_least(values, N - F)
+
+    def decide2(self, pid: int, s2: tuple) -> int | None:
+        # Round 2 merely starts the underlying consensus: no decision yet —
+        # the protocol is one-step but needs three or more rounds otherwise.
+        return None

@@ -1,0 +1,307 @@
+"""Machine-checked Theorem 1: one-step ∧ zero-degradation is impossible on Ω.
+
+This module re-derives the paper's Figure-1 contradiction automatically.
+Instead of hard-coding the eight runs R1..R8, it builds the full constraint
+system the proof reasons with and lets breadth-first propagation find an
+indistinguishability chain ending in a contradiction.  The produced
+:class:`Certificate` *is* Figure 1 — each link names the runs, the pivot
+process and the forced value — except discovered rather than transcribed.
+
+The constraint system (for ``n = 4, f = 1``, Ω ≡ p1 as in the proof):
+
+* **stable runs** — no crashes; by Definition 2 every such run is stable, so
+  zero-degradation obliges every process to decide by round 2; that decision
+  is a deterministic function ``D`` of the process's two-round state, and
+  agreement + validity tie all of a run's decisions to one value
+  ``val(R) ∈ {proposed values}``.
+* **one-step obligations** — a round-1 state with ``n - f`` equal values
+  ``v`` forces an immediate decision ``v`` (indistinguishable from an
+  all-``v`` run with an initial crash), seeding ``val(R) = v``.
+* **crash runs** — p1 completes round 2 and then crashes, its round-2
+  messages lost.  p1 cannot distinguish this from a stable run with the same
+  state, so ``D`` applies to its state; the survivors decide only eventually,
+  but termination + agreement still give the run a single value, and two
+  crash runs in which all three survivors have identical two-round states
+  have a common continuation — hence the same value.
+* **realizability** — the chain must apply to *every* one-step protocol,
+  including leader-waiting ones (which refuse to end a round without p1's
+  message while Ω outputs p1).  A hear-set that omits p1 is therefore only
+  used when its values are all equal (the one-step obligation forces the
+  process to act) or when p1 has crashed (survivor round-2 sets).
+
+Running :func:`prove_theorem1` propagates values from the one-step seeds
+through the equality edges until a run is forced to two different values —
+the agreement/validity contradiction of the proof.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.lowerbound.model import (
+    F,
+    LEADER,
+    N,
+    PIDS,
+    RunSpec,
+    format_state1,
+    hear_options,
+    one_step_value,
+    state1,
+    state2,
+)
+from repro.errors import ReproError
+
+__all__ = ["Run", "ChainLink", "Certificate", "prove_theorem1", "build_runs"]
+
+SURVIVOR_ROUND2 = tuple(sorted(set(PIDS) - {LEADER}))
+
+
+@dataclass(frozen=True)
+class Run:
+    """A run of the constraint system: a :class:`RunSpec` plus crash flag."""
+
+    spec: RunSpec
+    p1_crashes: bool  # p1 crashes after round 2; its round-2 messages are lost
+
+    def describe(self) -> str:
+        kind = "crash(p1)" if self.p1_crashes else "stable"
+        initial = "".join(str(v) for v in self.spec.initial)
+        hears = ";".join(
+            f"p{pid}<{''.join(map(str, self.spec.hears1[pid - 1]))}|"
+            f"{''.join(map(str, self.spec.hears2[pid - 1]))}>"
+            for pid in PIDS
+        )
+        return f"[{kind} init={initial} {hears}]"
+
+
+@dataclass(frozen=True)
+class ChainLink:
+    """One propagation step of the discovered Figure-1 chain."""
+
+    run: Run
+    value: int
+    reason: str
+
+
+@dataclass
+class Certificate:
+    """A machine-checked witness of Theorem 1."""
+
+    chain_zero: list[ChainLink]
+    chain_one: list[ChainLink]
+    conflict_run: Run
+
+    @property
+    def length(self) -> int:
+        return len(self.chain_zero) + len(self.chain_one)
+
+    def explain(self) -> str:
+        lines = [
+            "Theorem 1 certificate: assuming a one-step AND zero-degrading",
+            "Omega-based protocol (n=4, f=1, Omega = p1 as in the paper's proof),",
+            f"run {self.conflict_run.describe()} is forced to decide both 0 and 1.",
+            "",
+            "Chain forcing value 1:",
+        ]
+        for link in self.chain_one:
+            lines.append(f"  val=1 in {link.run.describe()}  [{link.reason}]")
+        lines.append("")
+        lines.append("Chain forcing value 0:")
+        for link in self.chain_zero:
+            lines.append(f"  val=0 in {link.run.describe()}  [{link.reason}]")
+        lines.append("")
+        lines.append(
+            "Both chains meet: agreement (or validity) is violated, so no such"
+            " protocol exists — Theorem 1."
+        )
+        return "\n".join(lines)
+
+
+def _realizable_stable(spec: RunSpec) -> bool:
+    """Realizable for every one-step protocol, including leader-waiting ones."""
+    for pid in PIDS:
+        s1 = state1(spec, pid)
+        decided_round1 = one_step_value(s1) is not None
+        if LEADER not in spec.hears1[pid - 1] and not decided_round1:
+            return False
+        if LEADER not in spec.hears2[pid - 1] and not decided_round1:
+            return False
+    return True
+
+
+def _realizable_crash(spec: RunSpec) -> bool:
+    """Crash-run realizability: survivors' round-2 sets are {2,3,4} (p1's
+    round-2 messages are lost); round-1 constraints are as in stable runs."""
+    for pid in PIDS:
+        s1 = state1(spec, pid)
+        decided_round1 = one_step_value(s1) is not None
+        if LEADER not in spec.hears1[pid - 1] and not decided_round1:
+            return False
+        if pid == LEADER:
+            if LEADER not in spec.hears2[pid - 1]:
+                return False
+        elif spec.hears2[pid - 1] != SURVIVOR_ROUND2:
+            return False
+    return True
+
+
+def build_runs(
+    restrict_hears: list[tuple[int, ...]] | None = None,
+) -> tuple[list[Run], list[Run]]:
+    """Enumerate realizable stable and crash runs of the model."""
+    stable: list[Run] = []
+    crash: list[Run] = []
+    per_pid_options = []
+    for pid in PIDS:
+        options = hear_options(pid)
+        if restrict_hears is not None:
+            options = [o for o in options if o in restrict_hears] or options
+        per_pid_options.append(options)
+    for initial in itertools.product((0, 1), repeat=N):
+        for hears1 in itertools.product(*per_pid_options):
+            for hears2 in itertools.product(*per_pid_options):
+                spec = RunSpec(tuple(initial), hears1, hears2)
+                if _realizable_stable(spec):
+                    stable.append(Run(spec, False))
+            # Crash runs: survivors' round-2 sets are forced, so only p1's
+            # round-2 choice varies.
+            for p1_hears2 in per_pid_options[0]:
+                hears2 = (p1_hears2,) + tuple(SURVIVOR_ROUND2 for _ in range(N - 1))
+                spec = RunSpec(tuple(initial), hears1, hears2)
+                if _realizable_crash(spec):
+                    crash.append(Run(spec, True))
+    return stable, crash
+
+
+def prove_theorem1(
+    restrict_hears: list[tuple[int, ...]] | None = None,
+) -> Certificate:
+    """Derive the Theorem-1 contradiction by constraint propagation.
+
+    Returns a :class:`Certificate`; raises :class:`ReproError` if no
+    contradiction is found (which would falsify the reproduction — the test
+    suite asserts it never happens on the full space).
+    """
+    stable, crash = build_runs(restrict_hears)
+    runs = stable + crash
+
+    # Equality edges.  Key 1: decisions-by-round-2 are a function of the
+    # two-round state, defined for every process of a stable run and for p1
+    # of a crash run whenever the same state occurs in some stable run.
+    d_key_to_runs: dict[tuple[int, tuple], list[int]] = {}
+    stable_d_keys: set[tuple[int, tuple]] = set()
+    for index, run in enumerate(stable):
+        for pid in PIDS:
+            key = (pid, state2(run.spec, pid))
+            stable_d_keys.add(key)
+            d_key_to_runs.setdefault(key, []).append(index)
+    offset = len(stable)
+    for index, run in enumerate(crash):
+        key = (LEADER, state2(run.spec, LEADER))
+        if key in stable_d_keys:
+            d_key_to_runs.setdefault(key, []).append(offset + index)
+
+    # Key 2: two crash runs whose three survivors have identical two-round
+    # states share a continuation, hence an eventual decision value.
+    future_key_to_runs: dict[tuple, list[int]] = {}
+    for index, run in enumerate(crash):
+        key = tuple(state2(run.spec, pid) for pid in SURVIVOR_ROUND2)
+        future_key_to_runs.setdefault(key, []).append(offset + index)
+
+    adjacency: dict[int, list[tuple[int, str]]] = {}
+
+    def connect(members: list[int], reason: str) -> None:
+        for a, b in zip(members, members[1:]):
+            adjacency.setdefault(a, []).append((b, reason))
+            adjacency.setdefault(b, []).append((a, reason))
+
+    for (pid, _), members in d_key_to_runs.items():
+        if len(members) > 1:
+            connect(members, f"p{pid} has the same two-round state (decides alike by round 2)")
+    for members in future_key_to_runs.values():
+        if len(members) > 1:
+            connect(members, "all survivors share states; common continuation")
+
+    # Seeds: one-step obligations.
+    value_of: dict[int, int] = {}
+    parent: dict[int, tuple[int | None, str]] = {}
+    queue: deque[int] = deque()
+    for index, run in enumerate(runs):
+        for pid in PIDS:
+            s1 = state1(run.spec, pid)
+            forced = one_step_value(s1)
+            if forced is None:
+                continue
+            reason = (
+                f"one-step: p{pid} received {format_state1(s1)} "
+                f"(n-f equal values) and must decide {forced} immediately"
+            )
+            if index in value_of:
+                if value_of[index] != forced:
+                    return _certificate(runs, value_of, parent, index, forced, reason)
+                continue
+            value_of[index] = forced
+            parent[index] = (None, reason)
+            queue.append(index)
+
+    # Propagate.
+    while queue:
+        current = queue.popleft()
+        value = value_of[current]
+        for neighbour, reason in adjacency.get(current, ()):  # noqa: B905
+            if neighbour in value_of:
+                if value_of[neighbour] != value:
+                    return _certificate(
+                        runs, value_of, parent, neighbour, value, reason, via=current
+                    )
+                continue
+            value_of[neighbour] = value
+            parent[neighbour] = (current, reason)
+            queue.append(neighbour)
+
+    raise ReproError(
+        "no contradiction found — the Theorem 1 propagation space is too small"
+    )
+
+
+def _trace(
+    runs: list[Run],
+    value_of: dict[int, int],
+    parent: dict[int, tuple[int | None, str]],
+    index: int,
+) -> list[ChainLink]:
+    links: list[ChainLink] = []
+    cursor: int | None = index
+    while cursor is not None:
+        origin, reason = parent[cursor]
+        links.append(ChainLink(runs[cursor], value_of[cursor], reason))
+        cursor = origin
+    links.reverse()
+    return links
+
+
+def _certificate(
+    runs: list[Run],
+    value_of: dict[int, int],
+    parent: dict[int, tuple[int | None, str]],
+    conflict: int,
+    incoming_value: int,
+    reason: str,
+    via: int | None = None,
+) -> Certificate:
+    existing_chain = _trace(runs, value_of, parent, conflict)
+    if via is not None:
+        incoming_chain = _trace(runs, value_of, parent, via)
+    else:
+        incoming_chain = []
+    incoming_chain.append(ChainLink(runs[conflict], incoming_value, reason))
+    if value_of[conflict] == 0:
+        chain_zero, chain_one = existing_chain, incoming_chain
+    else:
+        chain_zero, chain_one = incoming_chain, existing_chain
+    return Certificate(
+        chain_zero=chain_zero, chain_one=chain_one, conflict_run=runs[conflict]
+    )

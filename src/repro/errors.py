@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing programming errors (``ValueError``/``TypeError`` style
+misuse raises :class:`ConfigurationError`) from runtime protocol violations
+(:class:`ProtocolViolation` and its subclasses).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment, cluster or protocol was configured inconsistently.
+
+    Examples: ``f >= n/3`` for a one-step protocol, a delay model with a
+    negative mean, or two nodes registered under the same pid.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly.
+
+    Examples: scheduling an event in the past, running a simulator that was
+    already shut down, or re-entrant calls into :meth:`Simulator.run`.
+    """
+
+
+class ProtocolViolation(ReproError):
+    """A safety property of a protocol was observed to be violated.
+
+    Raised by the built-in checkers (agreement, validity, total order,
+    integrity).  A correct protocol implementation never triggers these; the
+    fault-injection tests use them to prove the checkers have teeth and the
+    lower-bound demo uses them to exhibit the impossibility result.
+    """
+
+
+class AgreementViolation(ProtocolViolation):
+    """Two processes decided (or a-delivered) differently."""
+
+
+class ValidityViolation(ProtocolViolation):
+    """A decided value was never proposed (or a message delivered but never broadcast)."""
+
+
+class IntegrityViolation(ProtocolViolation):
+    """A message was a-delivered more than once by the same process."""
+
+
+class TotalOrderViolation(ProtocolViolation):
+    """Two processes a-delivered the same messages in incompatible orders."""
+
+
+class TerminationFailure(ReproError):
+    """A run that was expected to decide/deliver did not do so within its horizon."""

@@ -1,0 +1,16 @@
+"""Failure detectors: Ω and ◇P, oracle-backed and heartbeat-based."""
+
+from repro.fd.base import OmegaView, SuspectView, omega_from_suspects
+from repro.fd.heartbeat import Heartbeat, HeartbeatSuspector
+from repro.fd.oracle import OracleFailureDetector, ScriptedOmega, ScriptedSuspects
+
+__all__ = [
+    "OmegaView",
+    "SuspectView",
+    "omega_from_suspects",
+    "Heartbeat",
+    "HeartbeatSuspector",
+    "OracleFailureDetector",
+    "ScriptedOmega",
+    "ScriptedSuspects",
+]

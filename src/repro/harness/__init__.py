@@ -1,0 +1,59 @@
+"""Experiment harness: cluster builders, runners and safety checkers."""
+
+from repro.harness.checkers import (
+    check_abcast_integrity,
+    check_abcast_validity,
+    check_consensus_agreement,
+    check_consensus_validity,
+    check_uniform_total_order,
+)
+from repro.harness.factories import (
+    ABCAST_FACTORIES,
+    CONSENSUS_FACTORIES,
+    brasileiro_consensus,
+    cabcast_l,
+    cabcast_p,
+    fast_paxos_consensus,
+    l_consensus,
+    multipaxos_abcast,
+    p_consensus,
+    paxos_consensus,
+    wabcast,
+)
+from repro.harness.abcast_runner import AbcastHost, AbcastRunResult, run_abcast
+from repro.harness.consensus_runner import (
+    CONSENSUS_SCOPE,
+    ConsensusHost,
+    ConsensusRunResult,
+    derive_omega,
+    heartbeat_fd_factory,
+    run_consensus,
+)
+
+__all__ = [
+    "check_abcast_integrity",
+    "check_abcast_validity",
+    "check_consensus_agreement",
+    "check_consensus_validity",
+    "check_uniform_total_order",
+    "CONSENSUS_SCOPE",
+    "ConsensusHost",
+    "ConsensusRunResult",
+    "derive_omega",
+    "heartbeat_fd_factory",
+    "run_consensus",
+    "AbcastHost",
+    "AbcastRunResult",
+    "run_abcast",
+    "ABCAST_FACTORIES",
+    "CONSENSUS_FACTORIES",
+    "brasileiro_consensus",
+    "cabcast_l",
+    "cabcast_p",
+    "fast_paxos_consensus",
+    "l_consensus",
+    "multipaxos_abcast",
+    "p_consensus",
+    "paxos_consensus",
+    "wabcast",
+]

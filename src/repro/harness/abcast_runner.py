@@ -1,0 +1,223 @@
+"""Atomic-broadcast runner: build a cluster, drive a send schedule, check order.
+
+Used by the integration tests and by the Figure-2/Figure-3 latency benches.
+Each node hosts one abcast module (C-Abcast, WABCast or Multi-Paxos — the
+factory decides) plus, optionally, an oracle failure detector.  The send
+schedule is injected through node timers so a-broadcast work is accounted by
+the node CPU model like any other event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.abcast_base import AbcastModule, AppMessage
+from repro.errors import ConfigurationError, TerminationFailure
+from repro.fd.oracle import OracleFailureDetector
+from repro.harness.checkers import (
+    check_abcast_validity,
+    check_uniform_total_order,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.process import Environment, HostProcess
+
+__all__ = ["AbcastHost", "AbcastRunResult", "run_abcast"]
+
+ABCAST_SCOPE = ("abc",)
+
+
+class AbcastHost(HostProcess):
+    """Node-level process hosting one atomic-broadcast module."""
+
+    def __init__(
+        self,
+        module_factory: Callable[["AbcastHost", Environment], AbcastModule],
+        schedule: Sequence[tuple[float, Any]] = (),
+        tracer=None,
+    ) -> None:
+        super().__init__()
+        self._module_factory = module_factory
+        self._schedule = sorted(schedule, key=lambda item: item[0])
+        self._next_send = 0
+        self.tracer = tracer
+        self.abcast: AbcastModule | None = None
+        self.delivery_times: dict[tuple[int, int], float] = {}
+
+    def on_start(self) -> None:
+        self.abcast = self.attach(
+            ABCAST_SCOPE, lambda env: self._module_factory(self, env)
+        )
+        self.abcast.set_on_deliver(self._record_delivery)
+        self.abcast.on_start()
+        self._arm_next_send()
+
+    def _arm_next_send(self) -> None:
+        if self._next_send < len(self._schedule):
+            at, _ = self._schedule[self._next_send]
+            self.env.set_timer("send", max(0.0, at - self.env.now()))
+
+    def on_plain_timer(self, name: Any) -> None:
+        if name != "send":
+            return
+        _, payload = self._schedule[self._next_send]
+        self._next_send += 1
+        message = self.abcast.a_broadcast(payload)
+        if self.tracer is not None:
+            self.tracer.emit(self.env.now(), self.env.pid, "a-broadcast", message.msg_id)
+        self._arm_next_send()
+
+    def _record_delivery(self, message: AppMessage) -> None:
+        self.delivery_times[message.msg_id] = self.env.now()
+        if self.tracer is not None:
+            self.tracer.emit(self.env.now(), self.env.pid, "a-deliver", message.msg_id)
+
+
+@dataclass
+class AbcastRunResult:
+    """Outcome of one simulated atomic-broadcast run."""
+
+    deliveries: dict[int, list[tuple[int, int]]]
+    delivery_times: dict[int, dict[tuple[int, int], float]]
+    broadcast: dict[tuple[int, int], AppMessage]
+    crashed: list[int]
+    duration: float
+    network_stats: dict
+    sim: Simulator = field(repr=False)
+    hosts: dict[int, AbcastHost] = field(repr=False)
+
+    def latency_of(self, msg_id: tuple[int, int]) -> float | None:
+        """Paper's latency: shortest delay between a-broadcast and a-deliver."""
+        message = self.broadcast[msg_id]
+        times = [
+            table[msg_id] for table in self.delivery_times.values() if msg_id in table
+        ]
+        if not times:
+            return None
+        return min(times) - message.sent_at
+
+    def latencies(self, window: tuple[float, float] | None = None) -> list[float]:
+        """Latencies of all delivered messages (optionally sent inside ``window``)."""
+        out = []
+        for msg_id, message in self.broadcast.items():
+            if window is not None and not window[0] <= message.sent_at <= window[1]:
+                continue
+            latency = self.latency_of(msg_id)
+            if latency is not None:
+                out.append(latency)
+        return out
+
+    @property
+    def delivered_count(self) -> int:
+        return max((len(seq) for seq in self.deliveries.values()), default=0)
+
+
+def run_abcast(
+    make_module: Callable[[int, Environment, "OracleFailureDetector | None", AbcastHost], AbcastModule],
+    n: int,
+    schedules: Mapping[int, Sequence[tuple[float, Any]]],
+    seed: int = 0,
+    delay=None,
+    datagram_delay=None,
+    datagram_loss: float = 0.0,
+    service_time: float = 0.0,
+    crash_at: Mapping[int, float] | None = None,
+    initially_crashed: tuple[int, ...] = (),
+    detection_delay: float = 0.0,
+    horizon: float = 60.0,
+    check: bool = True,
+    require_all_delivered: bool = True,
+    use_oracle_fd: bool = True,
+    max_events: int | None = None,
+    capacity=None,
+    tracer=None,
+) -> AbcastRunResult:
+    """Run one atomic-broadcast scenario on a fresh simulated cluster.
+
+    ``make_module(pid, env, oracle, host)`` builds the per-process module;
+    ``schedules`` maps pid -> [(send_time, payload), ...].
+    """
+    if n < 2:
+        raise ConfigurationError("atomic broadcast needs at least two processes")
+    pids = list(range(n))
+    sim = Simulator(seed=seed)
+    network = Network(
+        sim,
+        delay=delay,
+        datagram_delay=datagram_delay,
+        datagram_loss=datagram_loss,
+        capacity=capacity,
+    )
+    oracle = (
+        OracleFailureDetector(
+            sim, pids, detection_delay=detection_delay, initially_crashed=initially_crashed
+        )
+        if use_oracle_fd
+        else None
+    )
+
+    hosts: dict[int, AbcastHost] = {}
+    nodes: dict[int, Node] = {}
+    for pid in pids:
+        host = AbcastHost(
+            module_factory=lambda h, env, pid=pid: make_module(pid, env, oracle, h),
+            schedule=schedules.get(pid, ()),
+            tracer=tracer,
+        )
+        hosts[pid] = host
+        nodes[pid] = Node(sim, network, pid, pids, host, service_time=service_time)
+
+    if oracle is not None:
+        oracle.watch(nodes)
+
+    for pid in initially_crashed:
+        nodes[pid].crash()
+    for pid, node in nodes.items():
+        if pid not in initially_crashed:
+            node.start()
+    for pid, at in (crash_at or {}).items():
+        nodes[pid].crash_at(at)
+
+    sim.run(until=horizon, max_events=max_events)
+
+    deliveries = {
+        pid: host.abcast.delivered_ids for pid, host in hosts.items() if host.abcast
+    }
+    broadcast: dict[tuple[int, int], AppMessage] = {}
+    for host in hosts.values():
+        if host.abcast is None:
+            continue
+        for message in host.abcast.broadcast_log:
+            broadcast[message.msg_id] = message
+    crashed = [pid for pid, node in nodes.items() if node.crashed]
+
+    if check:
+        check_uniform_total_order(deliveries)
+        check_abcast_validity(broadcast, deliveries)
+        if require_all_delivered:
+            alive = [pid for pid in pids if pid not in crashed]
+            expected = {
+                mid
+                for mid, msg in broadcast.items()
+                if msg.origin not in crashed  # crashed senders' messages may be lost
+            }
+            for pid in alive:
+                missing = expected - set(deliveries[pid])
+                if missing:
+                    raise TerminationFailure(
+                        f"p{pid} never a-delivered {sorted(missing)[:5]} "
+                        f"({len(missing)} missing) within {horizon}s"
+                    )
+
+    return AbcastRunResult(
+        deliveries=deliveries,
+        delivery_times={pid: host.delivery_times for pid, host in hosts.items()},
+        broadcast=broadcast,
+        crashed=crashed,
+        duration=sim.now,
+        network_stats=network.stats.snapshot(),
+        sim=sim,
+        hosts=hosts,
+    )

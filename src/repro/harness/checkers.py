@@ -1,0 +1,93 @@
+"""Safety checkers for consensus and atomic broadcast runs.
+
+Every harness run is validated against the formal properties of section 3 of
+the paper.  The checkers raise the corresponding
+:mod:`repro.errors` exception; fault-injection tests deliberately break
+protocols to prove the checkers detect violations (i.e. the green test suite
+is evidence about the protocols, not about vacuous checks).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Mapping, Sequence
+
+from repro.errors import (
+    AgreementViolation,
+    IntegrityViolation,
+    TotalOrderViolation,
+    ValidityViolation,
+)
+
+__all__ = [
+    "check_consensus_agreement",
+    "check_consensus_validity",
+    "check_uniform_total_order",
+    "check_abcast_integrity",
+    "check_abcast_validity",
+]
+
+
+def check_consensus_agreement(decisions: Mapping[int, Any]) -> None:
+    """Consensus Agreement: no two processes decide differently."""
+    seen: dict[Any, int] = {}
+    for pid, value in decisions.items():
+        for other_value, other_pid in seen.items():
+            if value != other_value:
+                raise AgreementViolation(
+                    f"p{pid} decided {value!r} but p{other_pid} decided {other_value!r}"
+                )
+        seen.setdefault(value, pid)
+
+
+def check_consensus_validity(
+    proposals: Mapping[int, Any], decisions: Mapping[int, Any]
+) -> None:
+    """Consensus Validity: every decided value was proposed by some process."""
+    proposed = set(proposals.values())
+    for pid, value in decisions.items():
+        if value not in proposed:
+            raise ValidityViolation(
+                f"p{pid} decided {value!r}, which no process proposed ({proposed!r})"
+            )
+
+
+def check_abcast_integrity(deliveries: Mapping[int, Sequence[Hashable]]) -> None:
+    """Abcast Integrity (first half): no process a-delivers a message twice."""
+    for pid, sequence in deliveries.items():
+        seen: set[Hashable] = set()
+        for item in sequence:
+            if item in seen:
+                raise IntegrityViolation(f"p{pid} a-delivered {item!r} twice")
+            seen.add(item)
+
+
+def check_abcast_validity(
+    broadcast: Iterable[Hashable], deliveries: Mapping[int, Sequence[Hashable]]
+) -> None:
+    """Abcast Integrity (second half): only broadcast messages are delivered."""
+    legal = set(broadcast)
+    for pid, sequence in deliveries.items():
+        for item in sequence:
+            if item not in legal:
+                raise ValidityViolation(
+                    f"p{pid} a-delivered {item!r}, which was never a-broadcast"
+                )
+
+
+def check_uniform_total_order(deliveries: Mapping[int, Sequence[Hashable]]) -> None:
+    """Abcast Total Order: all delivery sequences are prefix-compatible.
+
+    Prefix compatibility is the standard operational formulation: for any two
+    processes, one's delivery sequence is a prefix of the other's (crashed or
+    lagging processes may be behind, but never *diverge*).  Combined with
+    Agreement it yields the paper's Total Order property.
+    """
+    check_abcast_integrity(deliveries)
+    sequences = sorted(deliveries.items(), key=lambda kv: len(kv[1]))
+    for (pid_a, shorter), (pid_b, longer) in zip(sequences, sequences[1:]):
+        for index, item in enumerate(shorter):
+            if longer[index] != item:
+                raise TotalOrderViolation(
+                    f"position {index}: p{pid_a} a-delivered {item!r} "
+                    f"but p{pid_b} a-delivered {longer[index]!r}"
+                )

@@ -1,0 +1,5 @@
+"""Ordering oracles (Weak Atomic Broadcast)."""
+
+from repro.oracles.wab import WabMessage, WabOracle
+
+__all__ = ["WabMessage", "WabOracle"]

@@ -1,0 +1,36 @@
+"""Baseline protocols the paper evaluates against (plus extensions)."""
+
+from repro.protocols.brasileiro import BrasileiroConsensus, Vote
+from repro.protocols.chandra_toueg import ChandraTouegConsensus
+from repro.protocols.ct_abcast import CtAbcast
+from repro.protocols.fastpaxos import FastPaxosConsensus
+from repro.protocols.lamport_onestep import LamportOneStepConsensus
+from repro.protocols.paxos import (
+    Accept,
+    Accepted,
+    Nack,
+    PaxosConsensus,
+    Prepare,
+    Promise,
+)
+from repro.protocols.paxos_abcast import MultiPaxosAbcast
+from repro.protocols.wabcast import WabCast, WabCheck, WabDecision
+
+__all__ = [
+    "BrasileiroConsensus",
+    "Vote",
+    "FastPaxosConsensus",
+    "ChandraTouegConsensus",
+    "LamportOneStepConsensus",
+    "CtAbcast",
+    "PaxosConsensus",
+    "Prepare",
+    "Promise",
+    "Accept",
+    "Accepted",
+    "Nack",
+    "MultiPaxosAbcast",
+    "WabCast",
+    "WabCheck",
+    "WabDecision",
+]

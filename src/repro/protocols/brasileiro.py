@@ -1,0 +1,122 @@
+"""Brasileiro et al.'s one-step consensus (PACT 2001) — related-work baseline.
+
+The original "consensus in one communication step" construction (section 2 of
+the paper): a preliminary voting round in front of an arbitrary underlying
+consensus module.
+
+Round structure:
+
+1. broadcast ``VOTE(v_i)`` and wait for ``n - f`` votes (``f < n/3``);
+2. if ``n - f`` votes carry the same value ``v`` → **decide v** (one step);
+3. otherwise propose to the underlying consensus module: the value seen at
+   least ``n - 2f`` times if one exists (anyone who decided in step 2 forces
+   this), else the own initial value.
+
+Agreement holds because a one-step decision on ``v`` means every process sees
+``v`` at least ``n - 2f > f`` times, so *every* process enters the underlying
+consensus proposing ``v``, whose own validity then pins the outcome to ``v``.
+
+The drawback the paper's Theorem 1 formalises: from mixed initial
+configurations this needs **1 + (steps of the underlying protocol)**
+communication steps — three or more even in stable runs, i.e. the protocol is
+one-step but *not* zero-degrading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.interfaces import ConsensusModule
+from repro.core.values import value_with_count_at_least
+from repro.errors import ConfigurationError
+from repro.sim.process import Environment, Scoped, ScopedEnvironment
+
+__all__ = ["Vote", "BrasileiroConsensus"]
+
+_UNDERLYING_SCOPE = ("underlying",)
+
+
+@dataclass(frozen=True)
+class Vote:
+    """First-round value exchange."""
+
+    value: Any
+
+
+class BrasileiroConsensus(ConsensusModule):
+    """One-step consensus with a pluggable underlying consensus module.
+
+    Parameters
+    ----------
+    env, on_decide:
+        As for every :class:`ConsensusModule`.
+    underlying_factory:
+        ``factory(scoped_env) -> ConsensusModule`` building the fallback
+        protocol (typically :class:`~repro.protocols.paxos.PaxosConsensus`
+        or :class:`~repro.core.lconsensus.LConsensus`).
+    f:
+        Resilience bound, ``f < n/3``.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        underlying_factory: Callable[[Environment], ConsensusModule],
+        f: int | None = None,
+        on_decide: Callable[[Any], None] | None = None,
+    ) -> None:
+        super().__init__(env, on_decide)
+        n = env.n
+        self.f = (n - 1) // 3 if f is None else f
+        if not 0 <= self.f or not 3 * self.f < n:
+            raise ConfigurationError(
+                f"Brasileiro's protocol requires f < n/3 (got n={n}, f={self.f})"
+            )
+        self.est: Any = None
+        self._votes: dict[int, Any] = {}
+        self._phase1_done = False
+        self.underlying = underlying_factory(ScopedEnvironment(env, _UNDERLYING_SCOPE))
+        self.underlying.set_on_decide(self._on_underlying_decide)
+
+    # --------------------------------------------------------------- protocol
+
+    def _start(self, value: Any) -> None:
+        self.est = value
+        self.env.broadcast(Vote(value))
+        self._try_phase1()
+
+    def _on_protocol_message(self, src: int, msg: Any) -> None:
+        if isinstance(msg, Scoped) and msg.scope == _UNDERLYING_SCOPE:
+            self.underlying.on_message(src, msg.inner)
+            return
+        if not isinstance(msg, Vote):
+            return
+        self._votes[src] = msg.value
+        if self._proposed and not self.decided:
+            self._try_phase1()
+
+    def on_timer(self, name: Any) -> None:
+        if isinstance(name, Scoped) and name.scope == _UNDERLYING_SCOPE:
+            self.underlying.on_timer(name.inner)
+
+    def _try_phase1(self) -> None:
+        if self._phase1_done:
+            return
+        n, f = self.env.n, self.f
+        if len(self._votes) < n - f:
+            return
+        self._phase1_done = True
+        unanimous = value_with_count_at_least(self._votes.values(), n - f)
+        if unanimous is not None:
+            self._decide(unanimous, steps=1)
+            return
+        fallback = value_with_count_at_least(self._votes.values(), n - 2 * f)
+        proposal = fallback if fallback is not None else self.est
+        self.underlying.propose(proposal)
+
+    def _on_underlying_decide(self, value: Any) -> None:
+        steps = 1
+        if self.underlying.decision is not None:
+            steps += self.underlying.decision.steps
+        self._decide(value, steps=steps)

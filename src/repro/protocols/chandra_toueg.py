@@ -1,0 +1,181 @@
+"""Chandra & Toueg's ◇S rotating-coordinator consensus (reference [5]).
+
+The classic unreliable-failure-detector consensus the paper builds on: the
+CT atomic broadcast it cites reduces to a sequence of these instances, and
+the paper's own protocols are best understood as optimised alternatives to
+it.  Included as a baseline so the step-count comparisons span the whole
+design space the paper discusses.
+
+Round ``r`` (coordinator ``c = r mod n``), four asynchronous phases:
+
+1. every process sends its ``(est, ts)`` to ``c`` — 1 step;
+2. ``c`` gathers a majority of estimates, adopts the one with the highest
+   timestamp and broadcasts it — 1 step;
+3. every process waits for ``c``'s estimate *or* for its detector to suspect
+   ``c``; it answers with an ACK (adopting the estimate, ``ts ← r``) or a
+   NACK — 1 step;
+4. on a majority of ACKs, ``c`` decides and disseminates the decision via
+   task T2.
+
+Resilience ``f < n/2``; termination needs only ◇S (we wire the stronger ◇P
+views, which is sound).  In a stable run with coordinator p0 the decision
+takes 3 communication steps at the coordinator — strictly slower than
+L-/P-Consensus's 2, which is the gap the paper's zero-degradation closes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.interfaces import ConsensusModule
+from repro.errors import ConfigurationError
+from repro.fd.base import SuspectView
+from repro.sim.process import Environment
+
+__all__ = ["Estimate", "CoordEstimate", "Ack", "ChandraTouegConsensus"]
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Phase 1: process → coordinator."""
+
+    round: int
+    est: Any
+    ts: int
+
+
+@dataclass(frozen=True)
+class CoordEstimate:
+    """Phase 2: coordinator → all."""
+
+    round: int
+    est: Any
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Phase 3: process → coordinator (positive or negative)."""
+
+    round: int
+    positive: bool
+
+
+class ChandraTouegConsensus(ConsensusModule):
+    """One CT-consensus instance at one process."""
+
+    def __init__(
+        self,
+        env: Environment,
+        suspects: SuspectView,
+        f: int | None = None,
+        on_decide: Callable[[Any], None] | None = None,
+    ) -> None:
+        super().__init__(env, on_decide)
+        n = env.n
+        self.f = (n - 1) // 2 if f is None else f
+        if not 0 <= self.f or not 2 * self.f < n:
+            raise ConfigurationError(
+                f"CT consensus requires f < n/2 (got n={n}, f={self.f})"
+            )
+        self.suspects = suspects
+        self.round = 0
+        self.est: Any = None
+        self.ts = 0
+        self._waiting_coord = False
+        self._answered: set[int] = set()
+        # Coordinator state, per round.
+        self._estimates: dict[int, dict[int, Estimate]] = {}
+        self._acks: dict[int, dict[int, bool]] = {}
+        self._proposals: dict[int, Any] = {}  # rounds we coordinated: r -> value
+        # Buffered coordinator estimates for rounds we have not reached.
+        self._coord_estimates: dict[int, Any] = {}
+        suspects.subscribe(self._on_suspects_change)
+
+    @property
+    def majority(self) -> int:
+        return self.env.n // 2 + 1
+
+    def _coordinator(self, r: int) -> int:
+        peers = sorted(self.env.peers)
+        return peers[(r - 1) % len(peers)]
+
+    # --------------------------------------------------------------- protocol
+
+    def _start(self, value: Any) -> None:
+        self.est = value
+        self._begin_round(1)
+
+    def _begin_round(self, r: int) -> None:
+        self.round = r
+        self._waiting_coord = True
+        self.env.send(self._coordinator(r), Estimate(r, self.est, self.ts))
+        self._maybe_answer()
+        self._coordinate()
+
+    def _on_protocol_message(self, src: int, msg: Any) -> None:
+        if self.decided:
+            return
+        if isinstance(msg, Estimate):
+            self._estimates.setdefault(msg.round, {})[src] = msg
+            self._coordinate()
+        elif isinstance(msg, CoordEstimate):
+            self._coord_estimates[msg.round] = msg.est
+            self._maybe_answer()
+        elif isinstance(msg, Ack):
+            self._acks.setdefault(msg.round, {})[src] = msg.positive
+            self._coordinate()
+
+    def _on_suspects_change(self) -> None:
+        if self._proposed and not self.decided:
+            self._maybe_answer()
+
+    # ------------------------------------------------------------ participant
+
+    def _maybe_answer(self) -> None:
+        """Phase 3: adopt-or-nack once the coordinator speaks or is suspected."""
+        r = self.round
+        if not self._waiting_coord or r in self._answered:
+            return
+        coordinator = self._coordinator(r)
+        if r in self._coord_estimates:
+            self.est = self._coord_estimates[r]
+            self.ts = r
+            self._answered.add(r)
+            self._waiting_coord = False
+            self.env.send(coordinator, Ack(r, True))
+            self._advance_after_answer(r)
+        elif coordinator in self.suspects.suspected():
+            self._answered.add(r)
+            self._waiting_coord = False
+            self.env.send(coordinator, Ack(r, False))
+            self._advance_after_answer(r)
+
+    def _advance_after_answer(self, r: int) -> None:
+        # CT processes proceed to the next round immediately after answering;
+        # decisions arrive via task T2 whenever some coordinator succeeds.
+        if not self.decided:
+            self._begin_round(r + 1)
+
+    # ------------------------------------------------------------ coordinator
+
+    def _coordinate(self) -> None:
+        """Phases 2 and 4, for every round this process coordinates."""
+        if self.decided:
+            return
+        for r in list(self._estimates):
+            if self._coordinator(r) != self.env.pid or r in self._proposals:
+                continue
+            estimates = self._estimates[r]
+            if len(estimates) < self.majority:
+                continue
+            best = max(estimates.values(), key=lambda e: e.ts)
+            self._proposals[r] = best.est
+            self.env.broadcast(CoordEstimate(r, best.est))
+        for r, acks in list(self._acks.items()):
+            if self._coordinator(r) != self.env.pid or r not in self._proposals:
+                continue
+            positives = sum(1 for ok in acks.values() if ok)
+            if positives >= self.majority:
+                self._decide(self._proposals[r], steps=3 * r)
+                return

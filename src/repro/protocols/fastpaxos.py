@@ -1,0 +1,281 @@
+"""Fast Paxos (Lamport, MSR-TR-2005-112) — extension baseline.
+
+Sections 2 and 9 of the paper position their contribution against Fast
+Paxos: it also has a fast path that commits in fewer message delays when
+there are no concurrent proposals, and its conflict-recovery round is driven
+by a coordinator.  The paper's conclusion notes that the failure detector
+Fast Paxos effectively relies on is *strictly stronger* than Ω — which is
+exactly how it escapes Theorem 1.
+
+This module implements the single-instance protocol with every process
+playing proposer, acceptor, learner and potential coordinator:
+
+* **fast round 0** (pre-promised): a proposer broadcasts ``FastPropose(v)``;
+  each acceptor accepts the *first* round-0 value it receives and broadcasts
+  ``FastAccepted``.  A learner decides once a **fast quorum** of ``n - e``
+  acceptors accepted the same value — two communication steps.
+* **collision recovery**: if the coordinator (Ω's leader) observes ``n - f``
+  round-0 votes with no fast-quorum winner, it starts classic round 1:
+  ``Phase1a/Phase1b``, picks a value by Lamport's O4 rule (any value accepted
+  by at least ``n - e - f`` members of the phase-1 quorum at the highest
+  round must be preserved), then ``Phase2a``/``Phase2b`` with the classic
+  quorum ``n - f``.
+
+Resilience: ``n > 2e + f`` and ``n > 2f``.  The default ``e = f = (n-1)//3``
+matches the paper's one-step regime for easy comparison: with ``n = 4``,
+fast and classic quorums are both 3, but the fast path needs **two** steps
+where L-/P-Consensus need one — the protocols' proposals originate at the
+deciding processes themselves, which is precisely the structural advantage
+the paper exploits.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.interfaces import ConsensusModule
+from repro.core.values import canonical_key
+from repro.errors import ConfigurationError
+from repro.fd.base import OmegaView
+from repro.sim.process import Environment
+
+__all__ = [
+    "FastPropose",
+    "FastAccepted",
+    "Phase1a",
+    "Phase1b",
+    "Phase2a",
+    "Phase2b",
+    "FastPaxosConsensus",
+]
+
+
+@dataclass(frozen=True)
+class FastPropose:
+    """Proposer → acceptors, fast round 0."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class FastAccepted:
+    """Acceptor → learners, fast round 0 vote."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class Phase1a:
+    round: int
+
+
+@dataclass(frozen=True)
+class Phase1b:
+    round: int
+    vrnd: int  # highest round in which a value was accepted (-1 = none)
+    vval: Any
+
+
+@dataclass(frozen=True)
+class Phase2a:
+    round: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class Phase2b:
+    round: int
+    value: Any
+
+
+class FastPaxosConsensus(ConsensusModule):
+    """One Fast Paxos instance at one process."""
+
+    announce_decide = False  # learners hear 2b votes from everyone already
+
+    def __init__(
+        self,
+        env: Environment,
+        omega: OmegaView,
+        f: int | None = None,
+        e: int | None = None,
+        on_decide: Callable[[Any], None] | None = None,
+        recovery_delay: float = 10e-3,
+    ) -> None:
+        super().__init__(env, on_decide)
+        self.recovery_delay = recovery_delay
+        n = env.n
+        self.f = (n - 1) // 3 if f is None else f
+        self.e = self.f if e is None else e
+        if not (n > 2 * self.e + self.f and n > 2 * self.f and self.f >= 0 and self.e >= 0):
+            raise ConfigurationError(
+                f"Fast Paxos requires n > 2e + f and n > 2f (n={n}, e={self.e}, f={self.f})"
+            )
+        self.omega = omega
+        self.est: Any = None
+        # Acceptor state.
+        self._rnd = 0  # highest round participated in (round 0 pre-promised)
+        self._vrnd = -1
+        self._vval: Any = None
+        # Learner state.
+        self._fast_votes: dict[int, Any] = {}  # acceptor -> round-0 value
+        self._classic_votes: dict[int, dict[int, Any]] = {}  # round -> acceptor -> value
+        # Coordinator state.
+        self._recovering = False
+        self._round = 0
+        self._phase1b: dict[int, Phase1b] = {}
+        self._phase2_sent = False
+        omega.subscribe(self._on_omega_change)
+
+    @property
+    def fast_quorum(self) -> int:
+        return self.env.n - self.e
+
+    @property
+    def classic_quorum(self) -> int:
+        return self.env.n - self.f
+
+    # --------------------------------------------------------------- proposer
+
+    def _start(self, value: Any) -> None:
+        self.est = value
+        self.env.broadcast(FastPropose(value))
+
+    # --------------------------------------------------------------- dispatch
+
+    def _on_protocol_message(self, src: int, msg: Any) -> None:
+        if isinstance(msg, FastPropose):
+            self._on_fast_propose(src, msg)
+        elif isinstance(msg, FastAccepted):
+            self._on_fast_accepted(src, msg)
+        elif isinstance(msg, Phase1a):
+            self._on_phase1a(src, msg)
+        elif isinstance(msg, Phase1b):
+            self._on_phase1b(src, msg)
+        elif isinstance(msg, Phase2a):
+            self._on_phase2a(src, msg)
+        elif isinstance(msg, Phase2b):
+            self._on_phase2b(src, msg)
+
+    # --------------------------------------------------------------- acceptor
+
+    def _on_fast_propose(self, src: int, msg: FastPropose) -> None:
+        if self._rnd > 0 or self._vrnd >= 0:
+            return  # moved on, or already voted in the fast round
+        self._vrnd = 0
+        self._vval = msg.value
+        self.env.broadcast(FastAccepted(msg.value))
+
+    def _on_phase1a(self, src: int, msg: Phase1a) -> None:
+        if msg.round <= self._rnd and not (msg.round == self._rnd == 0):
+            return
+        self._rnd = msg.round
+        self.env.send(src, Phase1b(msg.round, self._vrnd, self._vval))
+
+    def _on_phase2a(self, src: int, msg: Phase2a) -> None:
+        if msg.round < self._rnd:
+            return
+        self._rnd = msg.round
+        self._vrnd = msg.round
+        self._vval = msg.value
+        self.env.broadcast(Phase2b(msg.round, msg.value))
+
+    # ---------------------------------------------------------------- learner
+
+    def _on_fast_accepted(self, src: int, msg: FastAccepted) -> None:
+        if self.decided:
+            return
+        self._fast_votes.setdefault(src, msg.value)
+        counts = Counter(self._fast_votes.values())
+        for value, count in counts.items():
+            if count >= self.fast_quorum:
+                self._decide(value, steps=2)
+                return
+        self._maybe_recover()
+
+    def _on_phase2b(self, src: int, msg: Phase2b) -> None:
+        if self.decided:
+            return
+        votes = self._classic_votes.setdefault(msg.round, {})
+        votes[src] = msg.value
+        count = sum(1 for v in votes.values() if v == msg.value)
+        if count >= self.classic_quorum:
+            self._decide(msg.value, steps=4)
+
+    # ------------------------------------------------------------ coordinator
+
+    def _maybe_recover(self) -> None:
+        """Start classic round 1 once a collision is evident (or suspected).
+
+        A collision is *evident* when no value can reach the fast quorum even
+        with every outstanding vote; it is *suspected* when a classic quorum
+        of votes is in but the fast round still hangs — then a recovery timer
+        covers the case of crashed acceptors whose votes will never arrive.
+        """
+        if self._recovering or self.decided:
+            return
+        if self.omega.leader() != self.env.pid:
+            return
+        if len(self._fast_votes) < self.classic_quorum:
+            return
+        counts = Counter(self._fast_votes.values())
+        most = counts.most_common(1)[0][1] if counts else 0
+        outstanding = self.env.n - len(self._fast_votes)
+        if most + outstanding >= self.fast_quorum:
+            # The fast round may still succeed; give it a grace period.
+            self.env.set_timer("fastpaxos-recover", self.recovery_delay)
+            return
+        self._recover_now()
+
+    def _recover_now(self) -> None:
+        if self._recovering or self.decided or self.omega.leader() != self.env.pid:
+            return
+        self._recovering = True
+        self._round = 1
+        self._phase1b = {}
+        self.env.broadcast(Phase1a(self._round))
+
+    def on_timer(self, name: Any) -> None:
+        if name == "fastpaxos-recover":
+            self._recover_now()
+
+    def _on_omega_change(self) -> None:
+        if self._proposed and not self.decided:
+            self._maybe_recover()
+
+    def _on_phase1b(self, src: int, msg: Phase1b) -> None:
+        if self.decided or self._phase2_sent or msg.round != self._round:
+            return
+        self._phase1b[src] = msg
+        if len(self._phase1b) < self.classic_quorum:
+            return
+        value = self._pick_value(self._phase1b)
+        self._phase2_sent = True
+        self.env.broadcast(Phase2a(self._round, value))
+
+    def _pick_value(self, reports: dict[int, Phase1b]) -> Any:
+        """Lamport's O4 value-selection rule.
+
+        Let ``k`` be the highest ``vrnd`` among the quorum's reports and
+        ``V`` the values reported at ``k``.  Any value accepted by at least
+        ``n - e - f`` quorum members at round ``k`` may already be chosen by
+        a fast quorum and must be preserved; otherwise the coordinator is
+        free (it picks the most common reported value, then its own).
+        """
+        k = max(r.vrnd for r in reports.values())
+        if k >= 0:
+            at_k = [r.vval for r in reports.values() if r.vrnd == k]
+            counts = Counter(at_k)
+            threshold = self.env.n - self.e - self.f
+            forced = [v for v, c in counts.items() if c >= threshold]
+            if forced:
+                # The quorum intersection bound makes two forced values
+                # impossible; sort for determinism anyway.
+                return sorted(forced, key=canonical_key)[0]
+            if at_k:
+                return sorted(
+                    counts.items(), key=lambda kv: (-kv[1], canonical_key(kv[0]))
+                )[0][0]
+        return self.est

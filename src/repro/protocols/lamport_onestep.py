@@ -1,0 +1,133 @@
+"""Lamport's generalised one-step consensus (section 2 of the paper).
+
+Brasileiro's protocol fixes ``e = f < n/3``; Lamport's lower-bound analysis
+(cited as [14]) decouples the two thresholds:
+
+* ``n - e`` equal first-round values decide in one communication step;
+* ``n - f`` processes suffice for progress;
+* safety needs ``n > 2e + f`` (so a one-step decision leaves an unambiguous
+  trace: among any ``n - f`` votes, the decided value appears
+  ``n - e - f > e`` times, more than any other value can) and liveness
+  ``n > 2f``.
+
+Maximising ``e`` gives Brasileiro's ``e = f < n/3``; maximising ``f`` gives
+``e ≤ n/4`` with ``f < n/2`` — a one-step protocol that tolerates a minority
+of crashes, at the price of needing near-unanimity for the fast path.
+
+Structure (a strict generalisation of :mod:`repro.protocols.brasileiro`):
+every process broadcasts its vote; the fast path fires as soon as ``n - e``
+equal votes are in (which may be *after* the process already proposed to the
+underlying consensus — both paths are mutually consistent, see the agreement
+note below); once ``n - f`` votes are in, the process proposes the value
+seen at least ``n - e - f`` times (else its own) to the underlying module.
+
+Agreement: if anyone fast-decides ``v``, then at least ``n - e`` processes
+voted ``v``, so every set of ``n - f`` votes contains ``v`` at least
+``n - e - f`` times while any other value appears at most ``e < n - e - f``
+times — every process therefore proposes ``v``, the underlying consensus
+decides ``v``, and late fast decisions also output ``v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.interfaces import ConsensusModule
+from repro.core.values import value_with_count_at_least
+from repro.errors import ConfigurationError
+from repro.sim.process import Environment, Scoped, ScopedEnvironment
+
+__all__ = ["GeneralVote", "LamportOneStepConsensus"]
+
+_UNDERLYING_SCOPE = ("underlying",)
+
+
+@dataclass(frozen=True)
+class GeneralVote:
+    """First-round value exchange."""
+
+    value: Any
+
+
+class LamportOneStepConsensus(ConsensusModule):
+    """One-step consensus with independent fast (e) and crash (f) thresholds.
+
+    Parameters
+    ----------
+    env, on_decide:
+        As for every :class:`ConsensusModule`.
+    underlying_factory:
+        ``factory(scoped_env) -> ConsensusModule`` building the fallback.
+    f:
+        Crash threshold, ``f < n/2``.
+    e:
+        Fast-path threshold, ``e <= f`` and ``n > 2e + f``.  Defaults to the
+        largest legal value for the given ``f``.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        underlying_factory: Callable[[Environment], ConsensusModule],
+        f: int | None = None,
+        e: int | None = None,
+        on_decide: Callable[[Any], None] | None = None,
+    ) -> None:
+        super().__init__(env, on_decide)
+        n = env.n
+        self.f = (n - 1) // 2 if f is None else f
+        if e is None:
+            e = min(self.f, (n - self.f - 1) // 2)
+        self.e = e
+        if not (0 <= self.e <= self.f and n > 2 * self.e + self.f and n > 2 * self.f):
+            raise ConfigurationError(
+                f"need 0 <= e <= f, n > 2e + f and n > 2f (n={n}, e={self.e}, f={self.f})"
+            )
+        self.est: Any = None
+        self._votes: dict[int, Any] = {}
+        self._proposed_underlying = False
+        self.underlying = underlying_factory(ScopedEnvironment(env, _UNDERLYING_SCOPE))
+        self.underlying.set_on_decide(self._on_underlying_decide)
+
+    # --------------------------------------------------------------- protocol
+
+    def _start(self, value: Any) -> None:
+        self.est = value
+        self.env.broadcast(GeneralVote(value))
+        self._evaluate()
+
+    def _on_protocol_message(self, src: int, msg: Any) -> None:
+        if isinstance(msg, Scoped) and msg.scope == _UNDERLYING_SCOPE:
+            self.underlying.on_message(src, msg.inner)
+            return
+        if not isinstance(msg, GeneralVote):
+            return
+        self._votes[src] = msg.value
+        if self._proposed and not self.decided:
+            self._evaluate()
+
+    def on_timer(self, name: Any) -> None:
+        if isinstance(name, Scoped) and name.scope == _UNDERLYING_SCOPE:
+            self.underlying.on_timer(name.inner)
+
+    def _evaluate(self) -> None:
+        n = self.env.n
+        # Fast path: n - e equal votes decide immediately, whenever reached.
+        fast = value_with_count_at_least(self._votes.values(), n - self.e)
+        if fast is not None:
+            self._decide(fast, steps=1)
+            return
+        # Progress path: with n - f votes in, feed the underlying consensus.
+        if not self._proposed_underlying and len(self._votes) >= n - self.f:
+            self._proposed_underlying = True
+            traced = value_with_count_at_least(
+                self._votes.values(), n - self.e - self.f
+            )
+            self.underlying.propose(traced if traced is not None else self.est)
+
+    def _on_underlying_decide(self, value: Any) -> None:
+        steps = 1
+        if self.underlying.decision is not None:
+            steps += self.underlying.decision.steps
+        self._decide(value, steps=steps)

@@ -1,0 +1,250 @@
+"""Single-decree Paxos consensus (the paper's primary baseline).
+
+A faithful implementation of the synod protocol from "The Part-Time
+Parliament" [13], driven by Ω for proposer election, with every process
+playing all three roles:
+
+* **proposer** — the process Ω outputs as leader runs ballots.  Ballot
+  numbers are ``attempt * n + pid``, so ballots are unique and every process
+  can always out-ballot a competitor.
+* **acceptor** — classic promise/accept duties; a rejected request is
+  answered with an explicit NACK carrying the highest promised ballot, which
+  lets a preempted proposer retry immediately instead of on a timeout.
+* **learner** — acceptors broadcast ACCEPTED to everyone, so each process
+  learns a chosen value one communication step after acceptance.
+
+With the initial leader's first ballot *pre-promised* (``prepared_ballot=0``
+belongs to the lowest pid by convention, mirroring Multi-Paxos steady state),
+a stable run decides in two communication steps: ACCEPT + ACCEPTED.  Without
+pre-promising, add one round-trip of PREPARE/PROMISE.
+
+Resilience: ``f < n/2`` — the trade shown in Table 1 (Paxos tolerates more
+failures than the ``f < n/3`` one-step protocols but can never decide in one
+step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.interfaces import ConsensusModule
+from repro.errors import ConfigurationError
+from repro.fd.base import OmegaView
+from repro.sim.process import Environment
+
+__all__ = ["Prepare", "Promise", "Accept", "Accepted", "Nack", "PaxosConsensus"]
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Phase 1a."""
+
+    ballot: int
+
+
+@dataclass(frozen=True)
+class Promise:
+    """Phase 1b: promise plus the highest accepted (ballot, value), if any."""
+
+    ballot: int
+    accepted_ballot: int | None
+    accepted_value: Any
+
+
+@dataclass(frozen=True)
+class Accept:
+    """Phase 2a."""
+
+    ballot: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class Accepted:
+    """Phase 2b, broadcast to all learners."""
+
+    ballot: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class Nack:
+    """Rejection of a phase 1a/2a message; carries the blocking ballot."""
+
+    ballot: int
+    promised: int
+
+
+class PaxosConsensus(ConsensusModule):
+    """One single-decree Paxos instance at one process.
+
+    Parameters
+    ----------
+    env, on_decide:
+        As for every :class:`ConsensusModule`.
+    omega:
+        Leader-election oracle.  Only the current leader runs ballots.
+    f:
+        Resilience bound, ``f < n/2`` (defaults to the maximum).
+    pre_promised:
+        When True (default), ballot 0 — owned by the lowest pid — skips
+        phase 1, modelling Multi-Paxos steady state.  Set False to measure
+        the full 4-step cold-start protocol.
+    """
+
+    announce_decide = False  # learners hear ACCEPTED from everyone already
+
+    def __init__(
+        self,
+        env: Environment,
+        omega: OmegaView,
+        f: int | None = None,
+        on_decide: Callable[[Any], None] | None = None,
+        pre_promised: bool = True,
+    ) -> None:
+        super().__init__(env, on_decide)
+        n = env.n
+        self.f = (n - 1) // 2 if f is None else f
+        if not 0 <= self.f or not 2 * self.f < n:
+            raise ConfigurationError(f"Paxos requires f < n/2 (got n={n}, f={self.f})")
+        self.omega = omega
+        self.pre_promised = pre_promised
+        self.est: Any = None
+        # Acceptor state.
+        self._promised: int = 0 if pre_promised else -1
+        self._accepted_ballot: int | None = None
+        self._accepted_value: Any = None
+        # Proposer state.
+        self._attempt = -1
+        self._ballot: int | None = None
+        self._promises: dict[int, Promise] = {}
+        self._accept_sent = False
+        # Learner state: ballot -> set of acceptors that accepted it.
+        self._accepted_by: dict[int, set[int]] = {}
+        self._accepted_values: dict[int, Any] = {}
+        self.steps_taken = 0  # communication steps this process initiated
+        omega.subscribe(self._on_omega_change)
+
+    # ------------------------------------------------------------------ quorum
+
+    @property
+    def quorum(self) -> int:
+        return self.env.n - self.f
+
+    # ---------------------------------------------------------------- proposer
+
+    def _start(self, value: Any) -> None:
+        self.est = value
+        self._maybe_lead()
+
+    def _on_omega_change(self) -> None:
+        if self._proposed and not self.decided:
+            self._maybe_lead()
+
+    def _maybe_lead(self) -> None:
+        if self.omega.leader() != self.env.pid:
+            return
+        if self._ballot is not None and not self._accept_sent:
+            return  # a ballot of ours is already in flight
+        self._new_ballot()
+
+    def _new_ballot(self) -> None:
+        self._attempt += 1
+        ballot = self._attempt * self.env.n + self.env.pid
+        if self.pre_promised and ballot == 0 and self.env.pid == min(self.env.peers):
+            # Steady state: ballot 0 is pre-promised at every acceptor, so the
+            # initial leader goes straight to phase 2 with its own value.
+            self._ballot = 0
+            self._promises = {}
+            self._accept_sent = True
+            self.steps_taken += 1
+            self.env.broadcast(Accept(0, self.est))
+            return
+        if ballot <= (self._ballot if self._ballot is not None else -1):
+            self._attempt = (self._promised // self.env.n) + 1
+            ballot = self._attempt * self.env.n + self.env.pid
+        self._ballot = ballot
+        self._promises = {}
+        self._accept_sent = False
+        self.steps_taken += 1
+        self.env.broadcast(Prepare(ballot))
+
+    # -------------------------------------------------------------- message IO
+
+    def _on_protocol_message(self, src: int, msg: Any) -> None:
+        if isinstance(msg, Prepare):
+            self._on_prepare(src, msg)
+        elif isinstance(msg, Promise):
+            self._on_promise(src, msg)
+        elif isinstance(msg, Accept):
+            self._on_accept(src, msg)
+        elif isinstance(msg, Accepted):
+            self._on_accepted(src, msg)
+        elif isinstance(msg, Nack):
+            self._on_nack(src, msg)
+
+    # ---------------------------------------------------------------- acceptor
+
+    def _on_prepare(self, src: int, msg: Prepare) -> None:
+        if msg.ballot > self._promised:
+            self._promised = msg.ballot
+            self.env.send(
+                src, Promise(msg.ballot, self._accepted_ballot, self._accepted_value)
+            )
+        else:
+            self.env.send(src, Nack(msg.ballot, self._promised))
+
+    def _on_accept(self, src: int, msg: Accept) -> None:
+        if msg.ballot >= self._promised:
+            self._promised = msg.ballot
+            self._accepted_ballot = msg.ballot
+            self._accepted_value = msg.value
+            self.env.broadcast(Accepted(msg.ballot, msg.value))
+        else:
+            self.env.send(src, Nack(msg.ballot, self._promised))
+
+    # ---------------------------------------------------------------- proposer
+
+    def _on_promise(self, src: int, msg: Promise) -> None:
+        if self.decided or msg.ballot != self._ballot or self._accept_sent:
+            return
+        self._promises[src] = msg
+        if len(self._promises) < self.quorum:
+            return
+        # Pick the value of the highest-ballot acceptance among the quorum,
+        # falling back to our own estimate — the Paxos safety rule.
+        best: Promise | None = None
+        for promise in self._promises.values():
+            if promise.accepted_ballot is None:
+                continue
+            if best is None or promise.accepted_ballot > (best.accepted_ballot or -1):
+                best = promise
+        value = best.accepted_value if best is not None else self.est
+        self._accept_sent = True
+        self.steps_taken += 1
+        self.env.broadcast(Accept(self._ballot, value))
+
+    def _on_nack(self, src: int, msg: Nack) -> None:
+        if self.decided or msg.ballot != self._ballot:
+            return
+        if self.omega.leader() != self.env.pid:
+            return
+        # Preempted: jump past the blocking ballot and retry.
+        self._attempt = msg.promised // self.env.n + 1
+        self._ballot = None
+        self._new_ballot()
+
+    # ----------------------------------------------------------------- learner
+
+    def _on_accepted(self, src: int, msg: Accepted) -> None:
+        if self.decided:
+            return
+        voters = self._accepted_by.setdefault(msg.ballot, set())
+        voters.add(src)
+        self._accepted_values[msg.ballot] = msg.value
+        if len(voters) >= self.quorum:
+            # Steps: with the pre-promised fast path this is 2 (ACCEPT,
+            # ACCEPTED); a full ballot adds the PREPARE/PROMISE round trip.
+            steps = 2 if msg.ballot == 0 and self.pre_promised else 4
+            self._decide(msg.value, steps=steps)

@@ -1,0 +1,5 @@
+"""Asyncio runtime: the simulator's protocols, executed live."""
+
+from repro.runtime.asyncio_runtime import AsyncCluster, AsyncNode
+
+__all__ = ["AsyncCluster", "AsyncNode"]

@@ -1,0 +1,225 @@
+"""Asyncio runtime: execute the simulator's protocol code live.
+
+The protocols in this repository are written against the abstract
+:class:`~repro.sim.process.Environment`; this module provides a concrete
+environment backed by asyncio instead of the discrete-event kernel, so the
+*identical* protocol objects (L-/P-Consensus, C-Abcast, Paxos, ...) run in
+real time — the in-process analogue of deploying them on the paper's
+cluster.
+
+Design notes
+------------
+* Every node owns an inbox (:class:`asyncio.Queue`) and a consumer task;
+  handler executions are serialised per node, like the simulator's CPU.
+* Message delays are sampled from the same :class:`DelayModel` classes as
+  the simulator and realised with ``loop.call_later`` — reliable channels
+  additionally enforce per-link FIFO just like :class:`repro.sim.network`.
+* Timers map to ``call_later`` handles; re-arming a named timer cancels the
+  previous one, matching :meth:`repro.sim.node.Node.set_timer`.
+* ``crash()`` freezes a node: queued and future events are discarded
+  (crash-stop, section 3 of the paper).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import derive_seed
+from repro.sim.network import ConstantDelay, DelayModel
+from repro.sim.process import Environment, Process
+
+__all__ = ["AsyncNode", "AsyncCluster"]
+
+
+class _AsyncEnvironment(Environment):
+    """Environment implementation bound to an :class:`AsyncNode`."""
+
+    def __init__(self, node: "AsyncNode") -> None:
+        self._node = node
+        self.pid = node.pid
+        self.peers = tuple(node.cluster.pids)
+        self.rng = random.Random(derive_seed(node.cluster.seed, "proc", node.pid))
+
+    def send(self, dst: int, msg: Any) -> None:
+        self._node.cluster.transmit(self.pid, dst, msg, reliable=True)
+
+    def datagram(self, dst: int, msg: Any) -> None:
+        self._node.cluster.transmit(self.pid, dst, msg, reliable=False)
+
+    def now(self) -> float:
+        return self._node.cluster.loop.time()
+
+    def set_timer(self, name: Any, delay: float) -> None:
+        self._node.set_timer(name, delay)
+
+    def cancel_timer(self, name: Any) -> None:
+        self._node.cancel_timer(name)
+
+
+class AsyncNode:
+    """One live protocol endpoint."""
+
+    def __init__(self, cluster: "AsyncCluster", pid: int, process: Process) -> None:
+        self.cluster = cluster
+        self.pid = pid
+        self.process = process
+        self.inbox: asyncio.Queue = asyncio.Queue()
+        self.crashed = False
+        self._timers: dict[Any, asyncio.TimerHandle] = {}
+        self._consumer: asyncio.Task | None = None
+        process.bind(_AsyncEnvironment(self))
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        self._consumer = asyncio.get_running_loop().create_task(self._consume())
+        self.inbox.put_nowait(("start", None, None))
+
+    def crash(self) -> None:
+        """Crash-stop: cancel timers, stop consuming, drop queued events."""
+        if self.crashed:
+            return
+        self.crashed = True
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+        self.process.on_crash()
+
+    async def shutdown(self) -> None:
+        if self._consumer is not None:
+            self._consumer.cancel()
+            try:
+                await self._consumer
+            except asyncio.CancelledError:
+                pass
+
+    # --------------------------------------------------------------- delivery
+
+    def enqueue(self, kind: str, src: int | None, payload: Any) -> None:
+        if not self.crashed:
+            self.inbox.put_nowait((kind, src, payload))
+
+    def set_timer(self, name: Any, delay: float) -> None:
+        if self.crashed:
+            return
+        self.cancel_timer(name)
+        loop = asyncio.get_running_loop()
+        self._timers[name] = loop.call_later(
+            delay * self.cluster.time_scale, self._timer_fired, name
+        )
+
+    def cancel_timer(self, name: Any) -> None:
+        handle = self._timers.pop(name, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _timer_fired(self, name: Any) -> None:
+        self._timers.pop(name, None)
+        self.enqueue("timer", None, name)
+
+    async def _consume(self) -> None:
+        while True:
+            kind, src, payload = await self.inbox.get()
+            if self.crashed:
+                continue
+            if kind == "start":
+                self.process.on_start()
+            elif kind == "message":
+                self.process.on_message(src, payload)
+            elif kind == "timer":
+                self.process.on_timer(payload)
+
+
+class AsyncCluster:
+    """A group of :class:`AsyncNode` endpoints sharing an in-process network.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes (pids ``0 .. n-1``).
+    process_factory:
+        ``factory(pid, pids) -> Process``.
+    delay, datagram_delay:
+        Delay models (same classes as the simulator); default: 1 ms constant.
+    datagram_loss:
+        Drop probability for datagrams (reliable channels never drop).
+    time_scale:
+        Multiplier applied to every delay and timer — use < 1 to run
+        protocol time faster than wall-clock time in tests.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        process_factory: Callable[[int, list[int]], Process],
+        delay: DelayModel | None = None,
+        datagram_delay: DelayModel | None = None,
+        datagram_loss: float = 0.0,
+        time_scale: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if n < 1:
+            raise ConfigurationError("AsyncCluster needs at least one node")
+        if not 0.0 <= datagram_loss < 1.0:
+            raise ConfigurationError("datagram_loss must be in [0, 1)")
+        if time_scale <= 0:
+            raise ConfigurationError("time_scale must be positive")
+        self.pids = list(range(n))
+        self.delay = delay or ConstantDelay(1e-3)
+        self.datagram_delay = datagram_delay or self.delay
+        self.datagram_loss = datagram_loss
+        self.time_scale = time_scale
+        self.seed = seed
+        self._net_rng = random.Random(derive_seed(seed, "async-network"))
+        self._last_arrival: dict[tuple[int, int], float] = {}
+        self.nodes: dict[int, AsyncNode] = {}
+        self.loop: asyncio.AbstractEventLoop | None = None  # set in start()
+        self.messages_sent = 0
+        for pid in self.pids:
+            process = process_factory(pid, self.pids)
+            self.nodes[pid] = AsyncNode(self, pid, process)
+
+    # ------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        self.loop = asyncio.get_running_loop()
+        for node in self.nodes.values():
+            node.start()
+
+    async def run(self, duration: float) -> None:
+        """Let the cluster run for ``duration`` protocol seconds."""
+        await asyncio.sleep(duration * self.time_scale)
+
+    async def shutdown(self) -> None:
+        for node in self.nodes.values():
+            await node.shutdown()
+
+    def crash(self, pid: int) -> None:
+        self.nodes[pid].crash()
+
+    @property
+    def processes(self) -> dict[int, Process]:
+        return {pid: node.process for pid, node in self.nodes.items()}
+
+    # --------------------------------------------------------------- network
+
+    def transmit(self, src: int, dst: int, msg: Any, reliable: bool) -> None:
+        if self.loop is None:
+            raise ConfigurationError("cluster not started")
+        node = self.nodes.get(dst)
+        if node is None:
+            raise ConfigurationError(f"unknown destination {dst}")
+        self.messages_sent += 1
+        if not reliable and self.datagram_loss and self._net_rng.random() < self.datagram_loss:
+            return
+        model = self.delay if reliable else self.datagram_delay
+        delay = model.sample(self._net_rng) * self.time_scale
+        arrival = self.loop.time() + delay
+        if reliable:
+            key = (src, dst)
+            arrival = max(arrival, self._last_arrival.get(key, 0.0) + 1e-9)
+            self._last_arrival[key] = arrival
+        self.loop.call_at(arrival, node.enqueue, "message", src, msg)

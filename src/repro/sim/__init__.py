@@ -1,0 +1,49 @@
+"""Discrete-event simulation substrate (kernel, network, nodes, tracing)."""
+
+from repro.sim.kernel import Event, Simulator, derive_seed
+from repro.sim.network import (
+    DATAGRAM,
+    RELIABLE,
+    ConstantDelay,
+    Envelope,
+    ExponentialDelay,
+    LanDelay,
+    LinkCapacity,
+    LogNormalDelay,
+    Network,
+    NetworkStats,
+    UniformDelay,
+)
+from repro.sim.node import Cluster, Node, NodeEnvironment
+from repro.sim.storage import StableStore, StorageFabric
+from repro.sim.process import Environment, HostProcess, Process, Scoped, ScopedEnvironment
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "derive_seed",
+    "DATAGRAM",
+    "RELIABLE",
+    "ConstantDelay",
+    "UniformDelay",
+    "ExponentialDelay",
+    "LogNormalDelay",
+    "LanDelay",
+    "LinkCapacity",
+    "Envelope",
+    "Network",
+    "NetworkStats",
+    "Cluster",
+    "Node",
+    "NodeEnvironment",
+    "Environment",
+    "Process",
+    "HostProcess",
+    "Scoped",
+    "ScopedEnvironment",
+    "StableStore",
+    "StorageFabric",
+    "TraceRecord",
+    "Tracer",
+]

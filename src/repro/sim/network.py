@@ -1,0 +1,394 @@
+"""Simulated network: delay models, reliable FIFO channels, unordered datagrams.
+
+This module stands in for the 100 Mb Ethernet LAN of the paper's testbed.
+Two transport classes are modelled, matching section 8.1 of the paper
+("The WAB oracle implementation uses UDP packets whereas the rest of the
+communication is TCP-based"):
+
+* ``RELIABLE`` — a TCP-like channel: no loss, no duplication, per-(src, dst)
+  FIFO ordering.  This is the reliable channel assumed by the system model
+  (section 3).
+* ``DATAGRAM`` — a UDP-like channel: per-message independent delays, no FIFO
+  guarantee, optional loss.  The WAB oracle runs on top of this; *spontaneous
+  total order* emerges naturally because uncontended datagrams experience
+  similar delays, and breaks down when broadcasts overlap in time.
+
+Fault injection (link filters, partitions) is built in so the failure
+detector and protocol tests can create unstable runs on demand.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+
+__all__ = [
+    "DelayModel",
+    "ConstantDelay",
+    "UniformDelay",
+    "ExponentialDelay",
+    "LogNormalDelay",
+    "LanDelay",
+    "Envelope",
+    "LinkCapacity",
+    "NetworkStats",
+    "Network",
+    "RELIABLE",
+    "DATAGRAM",
+]
+
+RELIABLE = "reliable"
+DATAGRAM = "datagram"
+
+
+class DelayModel(Protocol):
+    """Samples a one-way message delay in seconds."""
+
+    def sample(self, rng) -> float:  # pragma: no cover - protocol signature
+        ...
+
+    def mean(self) -> float:  # pragma: no cover - protocol signature
+        ...
+
+
+@dataclass(frozen=True)
+class ConstantDelay:
+    """Every message takes exactly ``delay`` seconds."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ConfigurationError(f"negative delay {self.delay}")
+
+    def sample(self, rng) -> float:
+        return self.delay
+
+    def mean(self) -> float:
+        return self.delay
+
+
+@dataclass(frozen=True)
+class UniformDelay:
+    """Delay uniform in ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low <= self.high:
+            raise ConfigurationError(f"bad uniform bounds [{self.low}, {self.high}]")
+
+    def sample(self, rng) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2
+
+
+@dataclass(frozen=True)
+class ExponentialDelay:
+    """``base`` plus an exponential tail with the given ``mean_extra``."""
+
+    base: float
+    mean_extra: float
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.mean_extra < 0:
+            raise ConfigurationError("negative exponential delay parameters")
+
+    def sample(self, rng) -> float:
+        if self.mean_extra == 0:
+            return self.base
+        return self.base + rng.expovariate(1.0 / self.mean_extra)
+
+    def mean(self) -> float:
+        return self.base + self.mean_extra
+
+
+@dataclass(frozen=True)
+class LogNormalDelay:
+    """Log-normal delay, parametrised by its actual mean and sigma.
+
+    Log-normal latencies are the classic empirical fit for switched-LAN
+    round-trips; ``sigma`` around 0.3-0.5 gives a realistic mild tail.
+    """
+
+    mean_delay: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.mean_delay <= 0 or self.sigma < 0:
+            raise ConfigurationError("bad lognormal parameters")
+
+    def sample(self, rng) -> float:
+        mu = math.log(self.mean_delay) - self.sigma**2 / 2
+        return rng.lognormvariate(mu, self.sigma)
+
+    def mean(self) -> float:
+        return self.mean_delay
+
+
+@dataclass(frozen=True)
+class LanDelay:
+    """A 100 Mb-Ethernet-flavoured delay: wire base + jittered queueing tail.
+
+    ``base`` models propagation plus kernel traversal; the log-normal jitter
+    models switch and driver queueing.  Defaults approximate the sub-
+    millisecond one-way delays of the paper's testbed.
+    """
+
+    base: float = 80e-6
+    jitter_mean: float = 40e-6
+    jitter_sigma: float = 0.6
+
+    def sample(self, rng) -> float:
+        mu = math.log(self.jitter_mean) - self.jitter_sigma**2 / 2
+        return self.base + rng.lognormvariate(mu, self.jitter_sigma)
+
+    def mean(self) -> float:
+        return self.base + self.jitter_mean
+
+
+@dataclass
+class Envelope:
+    """What the network hands to a destination node."""
+
+    src: int
+    dst: int
+    payload: Any
+    channel: str
+    sent_at: float
+    size: int = 1
+
+
+@dataclass(frozen=True)
+class LinkCapacity:
+    """Finite-bandwidth model of the LAN fabric.
+
+    ``frame_time`` is the wire occupancy of one message (e.g. a full
+    ~1500-byte frame on 100 Mb Ethernet serialises in ~120 µs; protocol
+    messages with headers and Java serialisation land around 40-100 µs).
+
+    * ``shared`` — one half-duplex medium: every message in the whole
+      network serialises through a single resource (classic hub/CSMA).
+    * ``switched`` — full duplex per port: a sender's messages queue on its
+      uplink, a receiver's on its downlink (store-and-forward switch).
+
+    This is the load-dependent component of the latency/throughput curves:
+    at high throughput the per-port queues grow, both inflating delays and
+    perturbing datagram interleavings — which is exactly how spontaneous
+    order degrades on a real LAN as load rises.
+    """
+
+    frame_time: float
+    mode: str = "switched"
+
+    def __post_init__(self) -> None:
+        if self.frame_time < 0:
+            raise ConfigurationError("frame_time must be >= 0")
+        if self.mode not in ("shared", "switched"):
+            raise ConfigurationError(f"unknown capacity mode {self.mode!r}")
+
+
+class NetworkStats:
+    """Counts messages and payload classes traversing the network."""
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.by_channel: Counter = Counter()
+        self.by_kind: Counter = Counter()
+
+    def record_sent(self, envelope: Envelope) -> None:
+        self.sent += 1
+        self.by_channel[envelope.channel] += 1
+        self.by_kind[_kind_of(envelope.payload)] += 1
+
+    def record_delivered(self) -> None:
+        self.delivered += 1
+
+    def record_dropped(self) -> None:
+        self.dropped += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "by_channel": dict(self.by_channel),
+            "by_kind": dict(self.by_kind),
+        }
+
+
+def _kind_of(payload: Any) -> str:
+    """Best-effort message-kind label used for per-type accounting."""
+    unwrapped = payload
+    # Dig through Scoped wrappers (duck-typed to avoid importing process.py).
+    while hasattr(unwrapped, "scope") and hasattr(unwrapped, "inner"):
+        unwrapped = unwrapped.inner
+    return type(unwrapped).__name__
+
+
+# A link filter takes an Envelope and returns either a float (extra delay in
+# seconds), True (deliver normally) or False/None (drop).
+LinkFilter = Callable[[Envelope], "bool | float | None"]
+
+
+class Network:
+    """Message fabric connecting registered nodes.
+
+    The network delivers by calling ``deliver(envelope)`` on the destination
+    node object; :class:`repro.sim.node.Node` implements that hook (and the
+    CPU/queueing model behind it).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay: DelayModel | None = None,
+        datagram_delay: DelayModel | None = None,
+        datagram_loss: float = 0.0,
+        fifo_epsilon: float = 1e-9,
+        capacity: "LinkCapacity | None" = None,
+    ) -> None:
+        if not 0.0 <= datagram_loss < 1.0:
+            raise ConfigurationError(f"datagram_loss must be in [0,1), got {datagram_loss}")
+        self.sim = sim
+        self.delay = delay or LanDelay()
+        self.datagram_delay = datagram_delay or self.delay
+        self.datagram_loss = datagram_loss
+        self.fifo_epsilon = fifo_epsilon
+        self.capacity = capacity
+        self.stats = NetworkStats()
+        self._nodes: dict[int, Any] = {}
+        self._last_arrival: dict[tuple[int, int], float] = {}
+        self._uplink_busy: dict[int, float] = {}
+        self._downlink_busy: dict[int, float] = {}
+        self._medium_busy = 0.0
+        self._filters: list[LinkFilter] = []
+        self._partitions: list[frozenset[int]] = []
+        self._rng = sim.rng("network")
+
+    # ------------------------------------------------------------- membership
+
+    def register(self, pid: int, node: Any) -> None:
+        if pid in self._nodes:
+            raise ConfigurationError(f"node {pid} registered twice")
+        self._nodes[pid] = node
+
+    @property
+    def pids(self) -> list[int]:
+        return sorted(self._nodes)
+
+    # --------------------------------------------------------- fault injection
+
+    def add_filter(self, fn: LinkFilter) -> Callable[[], None]:
+        """Install a link filter; returns a callable that removes it."""
+        self._filters.append(fn)
+
+        def remove() -> None:
+            if fn in self._filters:
+                self._filters.remove(fn)
+
+        return remove
+
+    def partition(self, *groups: set[int]) -> None:
+        """Split the network: messages only flow within a group."""
+        self._partitions = [frozenset(g) for g in groups]
+
+    def heal(self) -> None:
+        """Remove any partition."""
+        self._partitions = []
+
+    def _partition_blocks(self, src: int, dst: int) -> bool:
+        if not self._partitions:
+            return False
+        return not any(src in g and dst in g for g in self._partitions)
+
+    # ----------------------------------------------------------------- sending
+
+    def send(self, src: int, dst: int, payload: Any, channel: str = RELIABLE) -> None:
+        """Transmit ``payload`` from ``src`` to ``dst``.
+
+        Reliable channels never drop (the system model's channels are
+        reliable); they can only be severed by explicit partitions or
+        filters, which tests use to model link failures.
+        """
+        if dst not in self._nodes:
+            raise ConfigurationError(f"unknown destination pid {dst}")
+        envelope = Envelope(src, dst, payload, channel, self.sim.now)
+        self.stats.record_sent(envelope)
+
+        if self._partition_blocks(src, dst):
+            self.stats.record_dropped()
+            return
+
+        extra = 0.0
+        for fn in self._filters:
+            verdict = fn(envelope)
+            if verdict is False or verdict is None:
+                self.stats.record_dropped()
+                return
+            if isinstance(verdict, (int, float)) and verdict is not True:
+                extra += float(verdict)
+
+        # Sender-side serialisation: the message occupies its uplink (or the
+        # shared medium) for one frame time before it can propagate.
+        departure = self.sim.now
+        if self.capacity is not None:
+            frame = self.capacity.frame_time * envelope.size
+            if self.capacity.mode == "shared":
+                start = max(departure, self._medium_busy)
+                self._medium_busy = start + frame
+            else:
+                start = max(departure, self._uplink_busy.get(src, 0.0))
+                self._uplink_busy[src] = start + frame
+            departure = start + frame
+
+        if channel == DATAGRAM:
+            if self.datagram_loss and self._rng.random() < self.datagram_loss:
+                self.stats.record_dropped()
+                return
+            arrival = departure + self.datagram_delay.sample(self._rng) + extra
+        elif channel == RELIABLE:
+            # Self-messages traverse the same transport model (as in Neko):
+            # this is what makes the simulator reproduce the paper's uniform
+            # communication-step accounting (1δ per round for everyone).
+            arrival = departure + self.delay.sample(self._rng) + extra
+        else:
+            raise ConfigurationError(f"unknown channel {channel!r}")
+
+        # Receiver-side serialisation on the switch downlink port.
+        if self.capacity is not None and self.capacity.mode == "switched":
+            frame = self.capacity.frame_time * envelope.size
+            arrival = max(arrival, self._downlink_busy.get(dst, 0.0)) + frame
+            self._downlink_busy[dst] = arrival
+
+        if channel == RELIABLE:
+            # Enforce per-link FIFO: a message never overtakes an earlier one.
+            key = (src, dst)
+            floor = self._last_arrival.get(key, -math.inf) + self.fifo_epsilon
+            arrival = max(arrival, floor)
+            self._last_arrival[key] = arrival
+
+        self.sim.schedule_at(arrival, self._arrive, envelope)
+
+    def broadcast(self, src: int, payload: Any, channel: str = RELIABLE) -> None:
+        """Send ``payload`` from ``src`` to every registered node (incl. src)."""
+        for dst in self.pids:
+            self.send(src, dst, payload, channel)
+
+    def _arrive(self, envelope: Envelope) -> None:
+        node = self._nodes.get(envelope.dst)
+        if node is None:  # node was torn down
+            self.stats.record_dropped()
+            return
+        self.stats.record_delivered()
+        node.deliver(envelope)

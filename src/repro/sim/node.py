@@ -1,0 +1,303 @@
+"""Simulated node: CPU/queueing model, timers, crash faults.
+
+A :class:`Node` hosts one :class:`~repro.sim.process.Process` and executes
+its handlers on a single simulated CPU.  Handler executions are serialised
+and each costs a configurable *service time*; when events arrive faster than
+the CPU drains them they queue, which is precisely the mechanism that bends
+the latency/throughput curves of Figures 2 and 3 upward at high load (the
+paper's 2.8 GHz workstations saturate the same way).
+
+Crash-stop faults (section 3): :meth:`Node.crash` freezes the node — all
+queued and future deliveries and timers are silently discarded, matching the
+crash-stop model where a crashed process takes no further steps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Event, Simulator
+from repro.sim.network import DATAGRAM, RELIABLE, Envelope, Network
+from repro.sim.process import Environment, Process
+
+__all__ = ["Node", "NodeEnvironment", "Cluster"]
+
+
+class NodeEnvironment(Environment):
+    """Concrete :class:`Environment` bound to one process *incarnation*.
+
+    The environment refuses to act once its node has crashed or been handed
+    to a newer incarnation (crash-recovery).  Without this guard, a crashed
+    process could still take steps through retained callbacks — e.g. a
+    failure-detector subscription firing after the crash — violating the
+    crash-stop model.
+    """
+
+    def __init__(self, node: "Node") -> None:
+        self._node = node
+        self._incarnation = node.process
+        self.pid = node.pid
+        self.peers = tuple(node.peers)
+        self.rng = node.sim.rng("proc", node.pid)
+
+    def _alive(self) -> bool:
+        return not self._node.crashed and self._node.process is self._incarnation
+
+    def send(self, dst: int, msg: Any) -> None:
+        if self._alive():
+            self._node.network.send(self.pid, dst, msg, channel=RELIABLE)
+
+    def datagram(self, dst: int, msg: Any) -> None:
+        if self._alive():
+            self._node.network.send(self.pid, dst, msg, channel=DATAGRAM)
+
+    def now(self) -> float:
+        return self._node.sim.now
+
+    def set_timer(self, name: Any, delay: float) -> None:
+        if self._alive():
+            self._node.set_timer(name, delay)
+
+    def cancel_timer(self, name: Any) -> None:
+        if self._alive():
+            self._node.cancel_timer(name)
+
+
+class Node:
+    """A simulated machine running one protocol process.
+
+    Parameters
+    ----------
+    sim, network:
+        The kernel and fabric this node lives on.
+    pid:
+        Process identifier, unique within the cluster.
+    peers:
+        All pids in the group (including this node's own).
+    process:
+        The protocol process to host.
+    service_time:
+        CPU cost, in seconds, of handling one event (message or timer).
+        Either a constant or a callable ``(kind, payload) -> float`` where
+        kind is ``"message"`` or ``"timer"``.  Zero (the default) disables
+        the CPU model so unit tests see pure network delays.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        pid: int,
+        peers: list[int],
+        process: Process,
+        service_time: float | Callable[[str, Any], float] = 0.0,
+    ) -> None:
+        if pid not in peers:
+            raise ConfigurationError(f"pid {pid} missing from its own peer list")
+        self.sim = sim
+        self.network = network
+        self.pid = pid
+        self.peers = sorted(peers)
+        self.process = process
+        self._service_time = service_time
+        self._busy_until = 0.0
+        self._crashed = False
+        self._started = False
+        self._timers: dict[Any, Event] = {}
+        self._crash_listeners: list[Callable[[int], None]] = []
+        self._recover_listeners: list[Callable[[int], None]] = []
+        self.events_handled = 0
+        self.busy_time = 0.0
+        network.register(pid, self)
+        process.bind(NodeEnvironment(self))
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def start(self, at: float = 0.0) -> None:
+        """Schedule the process's ``on_start`` at virtual time ``at``."""
+        if self._started:
+            raise ConfigurationError(f"node {self.pid} started twice")
+        self._started = True
+        self.sim.schedule_at(at, self._run_handler, "start", None, None)
+
+    def crash(self) -> None:
+        """Crash-stop the node: no handler runs after this point."""
+        if self._crashed:
+            return
+        self._crashed = True
+        for event in self._timers.values():
+            event.cancel()
+        self._timers.clear()
+        self.process.on_crash()
+        for listener in self._crash_listeners:
+            listener(self.pid)
+
+    def add_crash_listener(self, fn: Callable[[int], None]) -> None:
+        """Register a callback invoked (with the pid) when this node crashes.
+
+        Used by the oracle failure detectors, which observe crashes with a
+        god's-eye view instead of exchanging heartbeat messages.
+        """
+        self._crash_listeners.append(fn)
+
+    def add_recover_listener(self, fn: Callable[[int], None]) -> None:
+        """Register a callback invoked (with the pid) when this node recovers."""
+        self._recover_listeners.append(fn)
+
+    def recover(self, process: Process) -> None:
+        """Restart a crashed node with a *fresh* process instance.
+
+        Models the crash-recovery regime of Aguilera et al. (the paper's
+        reference [1]): the old process's volatile state is gone; the new
+        one typically re-reads a :class:`~repro.sim.storage.StableStore` in
+        its ``on_start``.  Messages that arrived while crashed were dropped
+        (crash-stop delivery semantics), so recovery protocols must catch up
+        explicitly.
+        """
+        if not self._crashed:
+            raise ConfigurationError(f"node {self.pid} is not crashed")
+        self._crashed = False
+        self._busy_until = max(self._busy_until, self.sim.now)
+        self.process = process
+        process.bind(NodeEnvironment(self))
+        self._enqueue("start", None, None)
+        for listener in self._recover_listeners:
+            listener(self.pid)
+
+    def recover_at(self, time: float, process_factory: Callable[[], Process]) -> None:
+        """Schedule a recovery with a process built at recovery time."""
+        self.sim.schedule_at(time, lambda: self.recover(process_factory()))
+
+    def crash_at(self, time: float) -> None:
+        """Schedule a crash at absolute virtual time ``time``."""
+        self.sim.schedule_at(time, self.crash)
+
+    # -------------------------------------------------------------- delivery
+
+    def deliver(self, envelope: Envelope) -> None:
+        """Called by the network when a message arrives at this node."""
+        if self._crashed:
+            return
+        self._enqueue("message", envelope.src, envelope.payload)
+
+    def set_timer(self, name: Any, delay: float) -> None:
+        if self._crashed:
+            return
+        self.cancel_timer(name)
+        self._timers[name] = self.sim.schedule(delay, self._timer_fired, name)
+
+    def cancel_timer(self, name: Any) -> None:
+        event = self._timers.pop(name, None)
+        if event is not None:
+            event.cancel()
+
+    def _timer_fired(self, name: Any) -> None:
+        if self._crashed:
+            return
+        self._timers.pop(name, None)
+        self._enqueue("timer", None, name)
+
+    # ------------------------------------------------------------ CPU model
+
+    def _cost(self, kind: str, payload: Any) -> float:
+        if callable(self._service_time):
+            return self._service_time(kind, payload)
+        return float(self._service_time)
+
+    def _enqueue(self, kind: str, src: int | None, payload: Any) -> None:
+        """Serialise handler execution on the node's single CPU."""
+        cost = self._cost(kind, payload)
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + cost
+        self.busy_time += cost
+        # The handler observes the world at the time the CPU *finishes* the
+        # work, so sends it performs are stamped after the service time.
+        self.sim.schedule_at(self._busy_until, self._run_handler, kind, src, payload)
+
+    def _run_handler(self, kind: str, src: int | None, payload: Any) -> None:
+        if self._crashed:
+            return
+        self.events_handled += 1
+        if kind == "start":
+            self.process.on_start()
+        elif kind == "message":
+            self.process.on_message(src, payload)
+        elif kind == "timer":
+            self.process.on_timer(payload)
+
+    # ------------------------------------------------------------ diagnostics
+
+    def utilization(self) -> float:
+        """Fraction of virtual time this CPU spent busy so far."""
+        if self.sim.now <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / self.sim.now)
+
+
+class Cluster:
+    """Convenience builder: a simulator, a network and n homogeneous nodes.
+
+    This is the in-repo analogue of the paper's "cluster of 4 identical
+    workstations interconnected by a 100Mb ethernet LAN".
+    """
+
+    def __init__(
+        self,
+        n: int,
+        process_factory: Callable[[int, list[int]], Process],
+        seed: int = 0,
+        delay=None,
+        datagram_delay=None,
+        datagram_loss: float = 0.0,
+        service_time: float | Callable[[str, Any], float] = 0.0,
+    ) -> None:
+        if n < 1:
+            raise ConfigurationError(f"cluster needs at least one node, got n={n}")
+        self.sim = Simulator(seed=seed)
+        self.network = Network(
+            self.sim,
+            delay=delay,
+            datagram_delay=datagram_delay,
+            datagram_loss=datagram_loss,
+        )
+        pids = list(range(n))
+        self.nodes: dict[int, Node] = {}
+        for pid in pids:
+            process = process_factory(pid, pids)
+            self.nodes[pid] = Node(
+                self.sim,
+                self.network,
+                pid,
+                pids,
+                process,
+                service_time=service_time,
+            )
+
+    @property
+    def pids(self) -> list[int]:
+        return sorted(self.nodes)
+
+    @property
+    def processes(self) -> dict[int, Process]:
+        return {pid: node.process for pid, node in self.nodes.items()}
+
+    def start(self, at: float = 0.0) -> None:
+        for node in self.nodes.values():
+            node.start(at=at)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        self.sim.run(until=until, max_events=max_events)
+
+    def crash(self, pid: int, at: float | None = None) -> None:
+        if at is None:
+            self.nodes[pid].crash()
+        else:
+            self.nodes[pid].crash_at(at)
+
+    def alive_pids(self) -> list[int]:
+        return [pid for pid, node in self.nodes.items() if not node.crashed]

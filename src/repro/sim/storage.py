@@ -1,0 +1,59 @@
+"""Stable storage: state that survives crash-stop-and-recover.
+
+The paper's section 2 notes that Paxos-like protocols "allow for the
+recovery of crashed processes" (Aguilera et al., reference [1]).  To exercise
+that, the simulator offers per-process stores that live *outside* the node:
+a crash destroys the process's volatile state, a recovery builds a fresh
+process instance that re-reads its store.
+
+Writes can be given a latency (an fsync cost) charged through the node's
+environment; by default persistence is instantaneous, which is the usual
+model for protocol-level analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+__all__ = ["StableStore", "StorageFabric"]
+
+
+class StableStore:
+    """A durable key-value store for one process."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, Any] = {}
+        self.writes = 0
+        self.reads = 0
+
+    def put(self, key: str, value: Any) -> None:
+        self.writes += 1
+        self._data[key] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        self.reads += 1
+        return self._data.get(key, default)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def clear(self) -> None:
+        """Wipe the store (simulating disk loss — NOT called by crashes)."""
+        self._data.clear()
+
+
+class StorageFabric:
+    """One :class:`StableStore` per process id, created on demand."""
+
+    def __init__(self) -> None:
+        self._stores: dict[int, StableStore] = {}
+
+    def store(self, pid: int) -> StableStore:
+        existing = self._stores.get(pid)
+        if existing is None:
+            existing = StableStore()
+            self._stores[pid] = existing
+        return existing

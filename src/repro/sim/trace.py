@@ -1,0 +1,70 @@
+"""Structured trace capture for simulated runs.
+
+Protocols and checkers publish trace records (decisions, deliveries, round
+transitions) to a :class:`Tracer`.  Tests assert on traces; the experiment
+harness derives latency and step-count metrics from them.  Tracing is
+pull-free and allocation-light: a record is a plain tuple appended to a list,
+and subscribers get synchronous callbacks.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    pid: int
+    kind: str
+    data: Any = None
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` instances and notifies subscribers."""
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+        self._subscribers: list[Callable[[TraceRecord], None]] = []
+
+    def emit(self, time: float, pid: int, kind: str, data: Any = None) -> None:
+        record = TraceRecord(time, pid, kind, data)
+        self.records.append(record)
+        for fn in self._subscribers:
+            fn(record)
+
+    def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
+        self._subscribers.append(fn)
+
+    # ----------------------------------------------------------------- queries
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def by_pid(self, kind: str | None = None) -> dict[int, list[TraceRecord]]:
+        out: dict[int, list[TraceRecord]] = defaultdict(list)
+        for r in self.records:
+            if kind is None or r.kind == kind:
+                out[r.pid].append(r)
+        return dict(out)
+
+    def first(self, kind: str) -> TraceRecord | None:
+        for r in self.records:
+            if r.kind == kind:
+                return r
+        return None
+
+    def kinds(self) -> set[str]:
+        return {r.kind for r in self.records}
+
+    def filter(self, predicate: Callable[[TraceRecord], bool]) -> Iterable[TraceRecord]:
+        return (r for r in self.records if predicate(r))
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -1,0 +1,22 @@
+"""Workload generation and measurement for the evaluation experiments."""
+
+from repro.workload.experiment import (
+    LAN,
+    PAPER_THROUGHPUTS,
+    SweepPoint,
+    latency_vs_throughput,
+)
+from repro.workload.generator import burst_schedule, poisson_schedule, uniform_schedule
+from repro.workload.metrics import LatencySummary, summarize
+
+__all__ = [
+    "LAN",
+    "PAPER_THROUGHPUTS",
+    "SweepPoint",
+    "latency_vs_throughput",
+    "burst_schedule",
+    "poisson_schedule",
+    "uniform_schedule",
+    "LatencySummary",
+    "summarize",
+]

@@ -1,0 +1,68 @@
+"""Latency statistics helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["LatencySummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics over a sample of latencies (seconds)."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    stdev: float
+    minimum: float
+    maximum: float
+
+    def scaled(self, factor: float) -> "LatencySummary":
+        """Return the same summary with every statistic multiplied by ``factor``
+        (e.g. ``1e3`` to report in milliseconds)."""
+        return LatencySummary(
+            self.count,
+            self.mean * factor,
+            self.median * factor,
+            self.p95 * factor,
+            self.stdev * factor,
+            self.minimum * factor,
+            self.maximum * factor,
+        )
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of an already sorted sample."""
+    if not ordered:
+        return math.nan
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def summarize(latencies: Iterable[float]) -> LatencySummary:
+    """Summarise a latency sample; an empty sample yields NaN statistics."""
+    sample = sorted(latencies)
+    if not sample:
+        nan = math.nan
+        return LatencySummary(0, nan, nan, nan, nan, nan, nan)
+    return LatencySummary(
+        count=len(sample),
+        mean=statistics.fmean(sample),
+        median=_percentile(sample, 0.5),
+        p95=_percentile(sample, 0.95),
+        stdev=statistics.stdev(sample) if len(sample) > 1 else 0.0,
+        minimum=sample[0],
+        maximum=sample[-1],
+    )

@@ -1,0 +1,49 @@
+"""Shared fixtures and factories for the test suite.
+
+The protocol factories live in the public API (:mod:`repro.harness.factories`);
+this module aliases them under the short names the tests use.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.factories import (
+    ABCAST_FACTORIES,
+    CONSENSUS_FACTORIES,
+    brasileiro_consensus as make_brasileiro_paxos,
+    cabcast_l as make_cabcast_l,
+    cabcast_p as make_cabcast_p,
+    fast_paxos_consensus as make_fastpaxos,
+    l_consensus as make_l,
+    multipaxos_abcast as make_multipaxos,
+    p_consensus as make_p,
+    paxos_consensus as make_paxos,
+    wabcast as make_wabcast,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.network import ConstantDelay, Network
+
+__all__ = [
+    "ABCAST_FACTORIES",
+    "CONSENSUS_FACTORIES",
+    "make_brasileiro_paxos",
+    "make_cabcast_l",
+    "make_cabcast_p",
+    "make_fastpaxos",
+    "make_l",
+    "make_multipaxos",
+    "make_p",
+    "make_paxos",
+    "make_wabcast",
+]
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def network(sim):
+    return Network(sim, delay=ConstantDelay(1e-3))

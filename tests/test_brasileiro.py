@@ -1,0 +1,95 @@
+"""Protocol tests for Brasileiro's one-step consensus (the related-work baseline)."""
+
+import pytest
+
+from repro.core import LConsensus
+from repro.errors import ConfigurationError
+from repro.harness import run_consensus
+from repro.protocols import BrasileiroConsensus, PaxosConsensus
+
+from tests.conftest import make_brasileiro_paxos
+
+
+def make_brasileiro_l(pid, env, oracle, host):
+    """Brasileiro with L-Consensus as the underlying module."""
+    return BrasileiroConsensus(
+        env, lambda senv: LConsensus(senv, oracle.omega(pid))
+    )
+
+
+class TestOneStepPath:
+    def test_equal_proposals_one_step(self):
+        result = run_consensus(make_brasileiro_paxos, {p: "v" for p in range(4)}, seed=1)
+        assert result.min_steps == 1
+
+    def test_equal_proposals_with_crash(self):
+        result = run_consensus(
+            make_brasileiro_paxos,
+            {p: "v" for p in range(4)},
+            seed=2,
+            initially_crashed=(1,),
+        )
+        assert result.min_steps == 1
+
+    def test_n7_one_step(self):
+        result = run_consensus(make_brasileiro_paxos, {p: 1 for p in range(7)}, seed=3)
+        assert result.min_steps == 1
+
+
+class TestFallbackPath:
+    def test_mixed_proposals_need_three_or_more_steps(self):
+        # The drawback Theorem 1 formalises: not zero-degrading.
+        result = run_consensus(
+            make_brasileiro_paxos, {0: "a", 1: "b", 2: "c", 3: "d"}, seed=4
+        )
+        assert result.min_steps >= 3
+
+    def test_majority_vote_forces_underlying_proposal(self):
+        # Three of four propose 'v': even if someone one-step decides, the
+        # fourth proposes 'v' to the underlying consensus (n - 2f rule).
+        result = run_consensus(
+            make_brasileiro_paxos, {0: "v", 1: "v", 2: "v", 3: "w"}, seed=5
+        )
+        assert set(result.decisions.values()) == {"v"}
+
+    def test_underlying_l_consensus_works_too(self):
+        result = run_consensus(
+            make_brasileiro_l, {0: "a", 1: "b", 2: "c", 3: "d"}, seed=6
+        )
+        assert len(set(result.decisions.values())) == 1
+        assert result.min_steps >= 3
+
+    def test_agreement_with_partial_one_step_deciders(self):
+        # Seeds where some processes take the fast path while others fall
+        # back must still agree (the crux of Brasileiro's correctness).
+        for seed in range(10):
+            result = run_consensus(
+                make_brasileiro_paxos, {0: "v", 1: "v", 2: "v", 3: "w"}, seed=seed
+            )
+            assert set(result.decisions.values()) == {"v"}
+
+
+class TestLiveness:
+    def test_crash_during_fallback(self):
+        result = run_consensus(
+            make_brasileiro_paxos,
+            {0: "a", 1: "b", 2: "c", 3: "d"},
+            seed=7,
+            crash_at={0: 0.002},
+            detection_delay=0.002,
+            horizon=10.0,
+        )
+        assert {1, 2, 3} <= set(result.decisions)
+        assert len(set(result.decisions.values())) == 1
+
+    def test_f_bound_enforced(self):
+        with pytest.raises(ConfigurationError):
+            run_consensus(
+                lambda pid, env, oracle, host: BrasileiroConsensus(
+                    env,
+                    lambda senv: PaxosConsensus(senv, oracle.omega(pid)),
+                    f=2,
+                ),
+                {0: "a", 1: "b", 2: "c", 3: "d"},
+                seed=1,
+            )

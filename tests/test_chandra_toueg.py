@@ -1,0 +1,104 @@
+"""Protocol tests for the Chandra-Toueg ◇S consensus baseline."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import run_consensus
+from repro.protocols import ChandraTouegConsensus
+from repro.sim.network import UniformDelay
+
+
+def make_ct(pid, env, oracle, host):
+    return ChandraTouegConsensus(env, oracle.suspect(pid))
+
+
+class TestSteadyState:
+    def test_decides_in_three_steps_with_stable_coordinator(self):
+        result = run_consensus(make_ct, {0: "a", 1: "b", 2: "c"}, seed=1)
+        assert result.min_steps == 3
+
+    def test_equal_proposals_still_three_steps(self):
+        # CT has no one-step path: the round structure is unconditional.
+        result = run_consensus(make_ct, {p: "v" for p in range(3)}, seed=2)
+        assert result.min_steps == 3
+        assert set(result.decisions.values()) == {"v"}
+
+    def test_tolerates_minority(self):
+        result = run_consensus(
+            make_ct, {p: f"v{p}" for p in range(5)}, seed=3, initially_crashed=(3, 4)
+        )
+        assert len(result.decisions) == 3
+        assert len(set(result.decisions.values())) == 1
+
+    def test_f_bound_enforced(self):
+        with pytest.raises(ConfigurationError):
+            run_consensus(
+                lambda pid, env, oracle, host: ChandraTouegConsensus(
+                    env, oracle.suspect(pid), f=2
+                ),
+                {0: "a", 1: "b", 2: "c"},
+                seed=1,
+            )
+
+
+class TestCoordinatorFailover:
+    def test_initially_crashed_coordinator(self):
+        result = run_consensus(
+            make_ct,
+            {p: f"v{p}" for p in range(5)},
+            seed=4,
+            initially_crashed=(0,),
+            horizon=10.0,
+        )
+        assert len(result.decisions) == 4
+        assert len(set(result.decisions.values())) == 1
+
+    def test_coordinator_crash_mid_round(self):
+        result = run_consensus(
+            make_ct,
+            {0: "a", 1: "b", 2: "c"},
+            seed=5,
+            crash_at={0: 0.0005},
+            detection_delay=0.002,
+            horizon=10.0,
+        )
+        assert {1, 2} <= set(result.decisions)
+        assert len(set(result.decisions.values())) == 1
+
+    def test_locked_value_survives_coordinator_crash(self):
+        # If any process ACKed the round-1 estimate, later rounds must keep
+        # deciding that same value (the timestamp mechanism).
+        for seed in range(8):
+            result = run_consensus(
+                make_ct,
+                {0: "a", 1: "b", 2: "c", 3: "d", 4: "e"},
+                seed=seed,
+                crash_at={0: 0.0012},  # after broadcasting its estimate
+                detection_delay=0.002,
+                horizon=10.0,
+            )
+            assert len(set(result.decisions.values())) == 1
+
+    def test_two_coordinator_crashes(self):
+        result = run_consensus(
+            make_ct,
+            {p: f"v{p}" for p in range(5)},
+            seed=6,
+            crash_at={0: 0.0005, 1: 0.003},
+            detection_delay=0.0015,
+            horizon=10.0,
+        )
+        assert {2, 3, 4} <= set(result.decisions)
+        assert len(set(result.decisions.values())) == 1
+
+    def test_jitter_seed_sweep(self):
+        for seed in range(8):
+            result = run_consensus(
+                make_ct,
+                {0: "x", 1: "y", 2: "x"},
+                seed=seed,
+                delay=UniformDelay(1e-4, 2e-3),
+                horizon=10.0,
+            )
+            assert len(set(result.decisions.values())) == 1
+            assert set(result.decisions.values()) <= {"x", "y"}

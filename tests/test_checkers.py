@@ -1,0 +1,87 @@
+"""Unit tests for the safety checkers — including proof they have teeth."""
+
+import pytest
+
+from repro.errors import (
+    AgreementViolation,
+    IntegrityViolation,
+    TotalOrderViolation,
+    ValidityViolation,
+)
+from repro.harness.checkers import (
+    check_abcast_integrity,
+    check_abcast_validity,
+    check_consensus_agreement,
+    check_consensus_validity,
+    check_uniform_total_order,
+)
+
+
+class TestConsensusCheckers:
+    def test_agreement_passes_on_unanimous(self):
+        check_consensus_agreement({0: "v", 1: "v", 2: "v"})
+
+    def test_agreement_detects_split(self):
+        with pytest.raises(AgreementViolation):
+            check_consensus_agreement({0: "v", 1: "w"})
+
+    def test_agreement_on_empty_or_singleton(self):
+        check_consensus_agreement({})
+        check_consensus_agreement({3: "x"})
+
+    def test_validity_passes_when_proposed(self):
+        check_consensus_validity({0: "a", 1: "b"}, {0: "b", 1: "b"})
+
+    def test_validity_detects_invented_value(self):
+        with pytest.raises(ValidityViolation):
+            check_consensus_validity({0: "a", 1: "b"}, {0: "z"})
+
+    def test_unhashable_safe_values(self):
+        check_consensus_agreement({0: frozenset([1]), 1: frozenset([1])})
+
+
+class TestAbcastCheckers:
+    def test_integrity_passes_without_duplicates(self):
+        check_abcast_integrity({0: [(0, 1), (1, 1)], 1: [(0, 1)]})
+
+    def test_integrity_detects_duplicate(self):
+        with pytest.raises(IntegrityViolation):
+            check_abcast_integrity({0: [(0, 1), (0, 1)]})
+
+    def test_validity_detects_unbroadcast_delivery(self):
+        with pytest.raises(ValidityViolation):
+            check_abcast_validity([(0, 1)], {0: [(0, 1), (9, 9)]})
+
+    def test_validity_passes(self):
+        check_abcast_validity([(0, 1), (1, 1)], {0: [(1, 1)], 1: [(0, 1), (1, 1)]})
+
+    def test_total_order_passes_on_prefixes(self):
+        check_uniform_total_order(
+            {0: [(0, 1), (1, 1), (2, 1)], 1: [(0, 1), (1, 1)], 2: [(0, 1)]}
+        )
+
+    def test_total_order_detects_divergence(self):
+        with pytest.raises(TotalOrderViolation):
+            check_uniform_total_order({0: [(0, 1), (1, 1)], 1: [(1, 1), (0, 1)]})
+
+    def test_total_order_detects_mid_sequence_divergence(self):
+        with pytest.raises(TotalOrderViolation):
+            check_uniform_total_order(
+                {
+                    0: [(0, 1), (1, 1), (2, 1)],
+                    1: [(0, 1), (2, 1), (1, 1)],
+                }
+            )
+
+    def test_total_order_includes_integrity(self):
+        with pytest.raises(IntegrityViolation):
+            check_uniform_total_order({0: [(0, 1), (0, 1)]})
+
+    def test_total_order_transitive_through_lengths(self):
+        # Three processes at three different lengths, pairwise consistent.
+        check_uniform_total_order(
+            {0: [(0, 1)], 1: [(0, 1), (0, 2)], 2: [(0, 1), (0, 2), (0, 3)]}
+        )
+
+    def test_empty_sequences_are_fine(self):
+        check_uniform_total_order({0: [], 1: [(0, 1)]})

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface and the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.textplot import line_chart
+from repro.cli import build_parser, main
+from repro.errors import ConfigurationError
+
+
+class TestTextPlot:
+    def test_renders_series_and_legend(self):
+        chart = line_chart({"fast": [1.0, 2.0, 3.0], "slow": [3.0, 2.5, 4.0]}, [10, 20, 30])
+        assert "* fast" in chart and "o slow" in chart
+        assert "10" in chart and "30" in chart
+
+    def test_y_scale_labels_extremes(self):
+        chart = line_chart({"s": [1.5, 9.5]}, ["a", "b"], height=5)
+        assert "9.50" in chart and "1.50" in chart
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        chart = line_chart({"s": [2.0, 2.0]}, [1, 2])
+        assert "*" in chart
+
+    def test_title(self):
+        chart = line_chart({"s": [1, 2]}, [1, 2], title="latency")
+        assert chart.splitlines()[0] == "latency"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({}, [])
+        with pytest.raises(ConfigurationError):
+            line_chart({"s": [1.0]}, [1, 2])
+        with pytest.raises(ConfigurationError):
+            line_chart({"s": [1.0]}, [1], height=1)
+
+
+class TestCli:
+    def test_consensus_command(self, capsys):
+        assert main(["consensus", "--protocol", "p-consensus", "--proposals", "v,v,v,v"]) == 0
+        out = capsys.readouterr().out
+        assert "decided 'v' after 1 step(s)" in out
+
+    def test_consensus_with_crash(self, capsys):
+        code = main(
+            [
+                "consensus",
+                "--protocol",
+                "l-consensus",
+                "--proposals",
+                "a,b,c,d",
+                "--crash",
+                "0:0.0001",
+                "--detection-delay",
+                "0.002",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "crashed  : [0]" in out
+
+    def test_abcast_command(self, capsys):
+        assert main(
+            ["abcast", "--protocol", "cabcast-p", "--rate", "50", "--duration", "0.2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "total order verified" in out
+
+    def test_sweep_command(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--protocols",
+                "cabcast-p",
+                "--rates",
+                "20,50",
+                "--duration",
+                "0.3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "msg/s" in out
+        assert "* cabcast-p" in out  # chart legend
+
+    def test_sweep_rejects_unknown_protocol(self, capsys):
+        assert main(["sweep", "--protocols", "nope", "--rates", "20"]) == 2
+
+    def test_table1_command(self, capsys):
+        assert main(["table1", "--n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "L-/P-Consensus" in out and "2d ; 3d" in out
+
+    def test_theorem1_command(self, capsys):
+        assert main(["theorem1"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1" in out and "val=1" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,92 @@
+"""Tests for the Table-1 analytical model — including measured validation."""
+
+import math
+
+import pytest
+
+from repro.analysis.complexity import INFINITY, format_table1, table1
+from repro.errors import ConfigurationError
+from repro.harness.abcast_runner import run_abcast
+from repro.sim.network import ConstantDelay
+
+from tests.conftest import make_cabcast_l, make_multipaxos, make_wabcast
+
+D = ConstantDelay(100e-6)
+
+
+class TestClosedForms:
+    def test_rows_present(self):
+        rows = {r.protocol: r for r in table1(4)}
+        assert set(rows) == {"Paxos", "WABCast", "L-/P-Consensus"}
+
+    def test_paxos_row(self):
+        row = next(r for r in table1(4) if r.protocol == "Paxos")
+        assert row.latency_no_collisions == 3
+        assert row.messages_no_collisions == 21  # n^2 + n + 1
+        assert row.resilience == "f < n/2"
+
+    def test_wabcast_row_degenerates_under_collisions(self):
+        row = next(r for r in table1(4) if r.protocol == "WABCast")
+        assert row.latency_no_collisions == 2
+        assert row.latency_collisions == INFINITY
+        assert row.messages_no_collisions == 20  # n^2 + n
+
+    def test_lp_row(self):
+        row = next(r for r in table1(4) if r.protocol == "L-/P-Consensus")
+        assert row.latency_collisions == 3
+        assert row.messages_collisions == 36  # 2n^2 + n
+
+    def test_latency_seconds_helper(self):
+        row = next(r for r in table1(4) if r.protocol == "Paxos")
+        assert row.latency_seconds(1e-3) == pytest.approx(3e-3)
+
+    def test_formatting(self):
+        text = format_table1(4)
+        assert "Paxos" in text and "inf" in text and "f < n/3" in text
+
+    def test_n_validation(self):
+        with pytest.raises(ConfigurationError):
+            table1(1)
+
+
+class TestMeasuredValidation:
+    """Cross-check the closed forms against the simulator (the T1 bench
+    does this at full width; here a spot check per protocol)."""
+
+    def test_lp_latency_no_collisions_measured(self):
+        result = run_abcast(
+            make_cabcast_l, 4, {1: [(0.001, "x")]}, seed=1, delay=D, datagram_delay=D, horizon=5.0
+        )
+        measured_steps = result.latency_of((1, 1)) / 100e-6
+        row = next(r for r in table1(4) if r.protocol == "L-/P-Consensus")
+        assert measured_steps == pytest.approx(row.latency_no_collisions, rel=0.01)
+
+    def test_wabcast_latency_measured(self):
+        result = run_abcast(
+            make_wabcast, 4, {1: [(0.001, "x")]}, seed=2, delay=D, datagram_delay=D, horizon=5.0
+        )
+        assert result.latency_of((1, 1)) / 100e-6 == pytest.approx(2, rel=0.01)
+
+    def test_paxos_latency_measured(self):
+        result = run_abcast(
+            make_multipaxos, 3, {1: [(0.001, "x")]}, seed=3, delay=D, datagram_delay=D, horizon=5.0
+        )
+        assert result.latency_of((1, 1)) / 100e-6 == pytest.approx(3, rel=0.01)
+
+    def test_paxos_message_count_exact(self):
+        result = run_abcast(
+            make_multipaxos, 3, {1: [(0.001, "x")]}, seed=4, delay=D, datagram_delay=D, horizon=5.0
+        )
+        row = next(r for r in table1(3) if r.protocol == "Paxos")
+        kinds = result.network_stats["by_kind"]
+        protocol_msgs = kinds["Request"] + kinds["LogAccept"] + kinds["LogAccepted"]
+        assert protocol_msgs == row.messages_no_collisions
+
+    def test_lp_message_count_no_collisions(self):
+        result = run_abcast(
+            make_cabcast_l, 4, {1: [(0.001, "x")]}, seed=5, delay=D, datagram_delay=D, horizon=5.0
+        )
+        row = next(r for r in table1(4) if r.protocol == "L-/P-Consensus")
+        kinds = result.network_stats["by_kind"]
+        # Paper counting: WAB datagrams + one PROP round (T2 DECIDEs excluded).
+        assert kinds["WabMessage"] + kinds["LProp"] == row.messages_no_collisions

@@ -1,0 +1,53 @@
+"""Smoke tests: every example script must run clean from a shell."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=120):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "fastest decision took 1 communication step" in proc.stdout
+        assert "identical delivery sequences at all 4 processes: True" in proc.stdout
+
+    def test_replicated_kv_store(self):
+        proc = run_example("replicated_kv_store.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "survivor stores are identical" in proc.stdout
+
+    def test_crash_recovery(self):
+        proc = run_example("crash_recovery.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "no command lost or duplicated" in proc.stdout
+
+    def test_live_cluster(self):
+        proc = run_example("live_cluster.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "all survivors agree" in proc.stdout
+
+    @pytest.mark.slow
+    def test_lower_bound_demo(self):
+        proc = run_example("lower_bound_demo.py", timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        assert "Every rule loses exactly one property" in proc.stdout
+
+    @pytest.mark.slow
+    def test_latency_comparison_quick(self):
+        proc = run_example("latency_comparison.py", timeout=500)
+        assert proc.returncode == 0, proc.stderr
+        assert "Expected shapes" in proc.stdout

@@ -1,0 +1,179 @@
+"""Cross-module integration tests: whole-stack scenarios over every protocol."""
+
+import pytest
+
+from repro.core import PConsensus
+from repro.harness import run_consensus
+from repro.harness.abcast_runner import run_abcast
+from repro.harness.consensus_runner import heartbeat_fd_factory
+from repro.sim.network import LanDelay, LinkCapacity, UniformDelay
+from repro.workload.generator import poisson_schedule
+
+from tests.conftest import (
+    ABCAST_FACTORIES,
+    CONSENSUS_FACTORIES,
+    make_cabcast_l,
+    make_cabcast_p,
+)
+
+
+class TestAllConsensusProtocols:
+    @pytest.mark.parametrize("name", sorted(CONSENSUS_FACTORIES))
+    def test_mixed_proposals_stable_run(self, name):
+        make = CONSENSUS_FACTORIES[name]
+        n = 3 if name == "paxos" else 4
+        proposals = {p: f"v{p}" for p in range(n)}
+        result = run_consensus(make, proposals, seed=1, horizon=10.0)
+        assert len(result.decisions) == n
+        assert len(set(result.decisions.values())) == 1
+
+    @pytest.mark.parametrize("name", sorted(CONSENSUS_FACTORIES))
+    def test_with_initial_crash(self, name):
+        make = CONSENSUS_FACTORIES[name]
+        n = 3 if name == "paxos" else 4
+        proposals = {p: f"v{p}" for p in range(n)}
+        result = run_consensus(
+            make, proposals, seed=2, initially_crashed=(n - 1,), horizon=10.0
+        )
+        assert len(set(result.decisions.values())) == 1
+
+    @pytest.mark.parametrize("name", sorted(CONSENSUS_FACTORIES))
+    def test_jitter_seed_sweep(self, name):
+        make = CONSENSUS_FACTORIES[name]
+        n = 3 if name == "paxos" else 4
+        for seed in range(5):
+            proposals = {p: f"v{p % 2}" for p in range(n)}
+            result = run_consensus(
+                make,
+                proposals,
+                seed=seed,
+                delay=UniformDelay(1e-4, 2e-3),
+                horizon=10.0,
+            )
+            assert len(set(result.decisions.values())) == 1
+
+
+class TestAllAbcastProtocols:
+    @pytest.mark.parametrize("name", sorted(ABCAST_FACTORIES))
+    def test_poisson_stream_total_order(self, name):
+        make = ABCAST_FACTORIES[name]
+        n = 3 if name == "multipaxos" else 4
+        schedules = poisson_schedule(n, rate=100, duration=0.3, seed=3)
+        result = run_abcast(
+            make,
+            n,
+            schedules,
+            seed=3,
+            horizon=5.0,
+        )
+        sent = sum(len(s) for s in schedules.values())
+        assert result.delivered_count == sent
+
+    @pytest.mark.parametrize("name", sorted(ABCAST_FACTORIES))
+    def test_initial_crash_stream(self, name):
+        make = ABCAST_FACTORIES[name]
+        n = 3 if name == "multipaxos" else 4
+        alive = [p for p in range(n) if p != n - 1]
+        schedules = poisson_schedule(n, rate=80, duration=0.3, seed=4, senders=alive)
+        result = run_abcast(
+            make,
+            n,
+            schedules,
+            seed=4,
+            initially_crashed=(n - 1,),
+            horizon=10.0,
+        )
+        sent = sum(len(s) for s in schedules.values())
+        assert result.delivered_count == sent
+
+
+class TestRealisticStack:
+    def test_cabcast_with_heartbeat_detector_end_to_end(self):
+        # Full realism: message-based ◇P inside the same nodes as C-Abcast.
+        from repro.core.cabcast import CAbcast
+        from repro.fd.heartbeat import HeartbeatSuspector
+        from repro.harness.abcast_runner import AbcastHost
+        from repro.harness.checkers import check_uniform_total_order
+        from repro.sim.kernel import Simulator
+        from repro.sim.network import ConstantDelay, Network
+        from repro.sim.node import Node
+
+        sim = Simulator(seed=5)
+        network = Network(sim, delay=ConstantDelay(5e-4))
+        pids = [0, 1, 2, 3]
+
+        class FdAbcastHost(AbcastHost):
+            def on_start(self):
+                self.fd = self.attach(
+                    ("fd",),
+                    lambda env: HeartbeatSuspector(env, period=5e-3, initial_timeout=2e-2),
+                )
+                self.fd.on_start()
+                super().on_start()
+
+        hosts, nodes = {}, {}
+        for pid in pids:
+            host = FdAbcastHost(
+                module_factory=lambda h, env: CAbcast(
+                    env, lambda senv, h=h: PConsensus(senv, h.fd)
+                ),
+                schedule=[(0.002 * (i + 1) + 0.0001 * pid, f"m{pid}.{i}") for i in range(5)],
+            )
+            hosts[pid] = host
+            nodes[pid] = Node(sim, network, pid, pids, host)
+        for node in nodes.values():
+            node.start()
+        nodes[3].crash_at(0.004)
+        sim.run(until=3.0)
+
+        deliveries = {p: h.abcast.delivered_ids for p, h in hosts.items()}
+        check_uniform_total_order(deliveries)
+        for pid in (0, 1, 2):
+            own = [m for m in deliveries[pid] if m[0] in (0, 1, 2)]
+            assert len(own) == 15
+
+    def test_consensus_with_heartbeat_fd_and_crash(self):
+        from repro.harness.consensus_runner import derive_omega
+
+        def make(pid, env, oracle, host):
+            return PConsensus(env, host.fd_module)
+
+        result = run_consensus(
+            make,
+            {p: f"v{p}" for p in range(4)},
+            seed=6,
+            fd_factory=heartbeat_fd_factory(period=2e-3, initial_timeout=8e-3),
+            crash_at={3: 0.001},
+            horizon=10.0,
+        )
+        assert {0, 1, 2} <= set(result.decisions)
+        assert len(set(result.decisions.values())) == 1
+
+    def test_full_lan_model_under_load(self):
+        schedules = poisson_schedule(4, rate=200, duration=0.5, seed=7)
+        result = run_abcast(
+            make_cabcast_l,
+            4,
+            schedules,
+            seed=7,
+            delay=LanDelay(base=300e-6, jitter_mean=50e-6),
+            datagram_delay=LanDelay(base=250e-6, jitter_mean=100e-6, jitter_sigma=1.2),
+            capacity=LinkCapacity(frame_time=50e-6),
+            service_time=20e-6,
+            horizon=5.0,
+        )
+        sent = sum(len(s) for s in schedules.values())
+        assert result.delivered_count == sent
+
+    def test_consecutive_consensus_instances_share_nothing(self):
+        # Two back-to-back runs with opposite proposals must not leak state.
+        r1 = run_consensus(make_cabcast_noop(), {p: "x" for p in range(4)}, seed=8)
+        r2 = run_consensus(make_cabcast_noop(), {p: "y" for p in range(4)}, seed=8)
+        assert set(r1.decisions.values()) == {"x"}
+        assert set(r2.decisions.values()) == {"y"}
+
+
+def make_cabcast_noop():
+    from tests.conftest import make_p
+
+    return make_p

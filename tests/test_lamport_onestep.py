@@ -1,0 +1,130 @@
+"""Protocol tests for Lamport's generalised e/f one-step consensus."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import run_consensus
+from repro.protocols import LamportOneStepConsensus, PaxosConsensus
+
+
+def make(e=None, f=None):
+    def factory(pid, env, oracle, host):
+        return LamportOneStepConsensus(
+            env,
+            lambda senv: PaxosConsensus(senv, oracle.omega(pid), f=f),
+            f=f,
+            e=e,
+        )
+
+    return factory
+
+
+class TestFastPath:
+    def test_brasileiro_regime_e_equals_f(self):
+        # n=4, e=f=1: exactly Brasileiro's thresholds.
+        result = run_consensus(make(e=1, f=1), {p: "v" for p in range(4)}, seed=1)
+        assert result.min_steps == 1
+
+    def test_majority_crash_tolerance_with_small_e(self):
+        # n=5, f=2 (a minority!), e=1: still one-step on unanimity.
+        result = run_consensus(make(e=1, f=2), {p: "v" for p in range(5)}, seed=2)
+        assert result.min_steps == 1
+
+    def test_fast_path_survives_up_to_e_crashes(self):
+        result = run_consensus(
+            make(e=1, f=2), {p: "v" for p in range(5)}, seed=3, initially_crashed=(4,)
+        )
+        assert result.min_steps == 1
+
+    def test_more_than_e_crashes_forces_fallback(self):
+        # With f=2 crashes the fast quorum n-e=4 is unreachable; the
+        # protocol still terminates through the underlying consensus.
+        result = run_consensus(
+            make(e=1, f=2),
+            {p: "v" for p in range(5)},
+            seed=4,
+            initially_crashed=(3, 4),
+            horizon=10.0,
+        )
+        assert result.min_steps >= 3
+        assert set(result.decisions.values()) == {"v"}
+
+    def test_late_fast_decision_is_consistent(self):
+        # Even when the fast quorum completes after the underlying proposal,
+        # both paths yield the same value across seeds.
+        for seed in range(10):
+            result = run_consensus(
+                make(e=1, f=2),
+                {0: "v", 1: "v", 2: "v", 3: "v", 4: "w"},
+                seed=seed,
+                horizon=10.0,
+            )
+            assert set(result.decisions.values()) == {"v"}
+
+
+class TestFallbackPath:
+    def test_mixed_proposals_use_underlying(self):
+        result = run_consensus(
+            make(e=1, f=2), {0: "a", 1: "b", 2: "c", 3: "d", 4: "e"}, seed=5, horizon=10.0
+        )
+        assert result.min_steps >= 3
+        assert len(set(result.decisions.values())) == 1
+
+    def test_traced_value_forces_underlying_proposal(self):
+        # n - e - f = 2 equal votes must be proposed to the fallback so a
+        # potential fast decider stays consistent.
+        for seed in range(8):
+            result = run_consensus(
+                make(e=1, f=2),
+                {0: "v", 1: "v", 2: "v", 3: "v", 4: "w"},
+                seed=seed,
+                crash_at={4: 0.0004, 0: 0.0011},
+                detection_delay=0.002,
+                horizon=10.0,
+            )
+            assert len(set(result.decisions.values())) == 1
+
+    def test_crash_during_fallback(self):
+        result = run_consensus(
+            make(e=1, f=2),
+            {p: f"v{p}" for p in range(5)},
+            seed=6,
+            crash_at={0: 0.001},
+            detection_delay=0.002,
+            horizon=10.0,
+        )
+        assert {1, 2, 3, 4} <= set(result.decisions)
+        assert len(set(result.decisions.values())) == 1
+
+
+class TestParameterSpace:
+    def test_default_e_is_maximal_for_f(self):
+        # n=7, f=3 (max) => e <= (7-3-1)//2 = 1.
+        result = run_consensus(make(f=3), {p: "v" for p in range(7)}, seed=7)
+        assert result.min_steps == 1
+
+    @pytest.mark.parametrize(
+        "n,e,f",
+        [
+            (4, 2, 1),  # e > f
+            (4, 1, 2),  # n = 2e + f violated? 4 <= 2+2 -> also 2f bound
+            (5, 2, 2),  # n <= 2e + f
+            (4, 0, 2),  # n <= 2f
+        ],
+    )
+    def test_invalid_thresholds_rejected(self, n, e, f):
+        with pytest.raises(ConfigurationError):
+            run_consensus(make(e=e, f=f), {p: "v" for p in range(n)}, seed=1)
+
+    def test_e_zero_needs_unanimity(self):
+        result = run_consensus(make(e=0, f=1), {p: "v" for p in range(4)}, seed=8)
+        assert result.min_steps == 1
+        # One crash removes the fast path entirely (needs all n votes).
+        result = run_consensus(
+            make(e=0, f=1),
+            {p: "v" for p in range(4)},
+            seed=9,
+            initially_crashed=(3,),
+            horizon=10.0,
+        )
+        assert result.min_steps >= 3

@@ -1,0 +1,152 @@
+"""Tests for the executable Theorem-1 lower bound (model, certificate, rules)."""
+
+import pytest
+
+from repro.core.lowerbound import (
+    BrasileiroRule,
+    LConsensusRule,
+    NaiveCombinedRule,
+    RunSpec,
+    build_runs,
+    check_rule,
+    format_state1,
+    hear_options,
+    one_step_value,
+    prove_theorem1,
+    state1,
+    state2,
+)
+from repro.errors import ConfigurationError
+
+# A reduced hear-set family that still contains the contradiction; keeps the
+# per-rule sweeps fast in CI.
+FAST_HEARS = [(1, 2, 3), (1, 2, 4), (1, 3, 4), (2, 3, 4)]
+
+
+def spec(initial, hears1, hears2):
+    return RunSpec(tuple(initial), tuple(hears1), tuple(hears2))
+
+
+ALL_123 = ((1, 2, 3), (1, 2, 3), (1, 2, 3), (1, 2, 4))
+
+
+class TestModel:
+    def test_state1_shows_heard_values(self):
+        run = spec((0, 1, 1, 1), ALL_123, ALL_123)
+        assert state1(run, 1) == (0, 1, 1, None)
+        assert format_state1(state1(run, 1)) == "011-"
+
+    def test_state1_of_p4_with_its_own_hear_set(self):
+        run = spec((0, 1, 1, 1), ((1, 2, 3),) * 3 + ((2, 3, 4),), ALL_123)
+        assert format_state1(state1(run, 4)) == "-111"
+
+    def test_state2_nests_round1_states(self):
+        run = spec((0, 1, 1, 1), ALL_123, ALL_123)
+        s2 = state2(run, 1)
+        assert s2[0] == state1(run, 1)
+        assert s2[3] is None
+
+    def test_state2_contains_own_state1(self):
+        run = spec((1, 0, 1, 0), ALL_123, ALL_123)
+        for pid in (1, 2, 3):
+            assert state2(run, pid)[pid - 1] == state1(run, pid)
+
+    def test_one_step_value(self):
+        assert one_step_value((None, 1, 1, 1)) == 1
+        assert one_step_value((0, 0, None, 0)) == 0
+        assert one_step_value((0, 1, 1, None)) is None
+
+    def test_hear_options_contain_self(self):
+        for pid in (1, 2, 3, 4):
+            options = hear_options(pid)
+            assert len(options) == 3
+            assert all(pid in o for o in options)
+
+    def test_runspec_validation(self):
+        with pytest.raises(ConfigurationError):
+            spec((0, 1, 1, 1), ((1, 2),) * 4, ALL_123)  # hear-set too small
+        with pytest.raises(ConfigurationError):
+            spec((0, 1, 1, 1), ((2, 3, 4),) + ((1, 2, 3),) * 3, ALL_123)  # p1 not in own set
+
+
+class TestTheorem1:
+    def test_certificate_exists_on_reduced_space(self):
+        cert = prove_theorem1(restrict_hears=FAST_HEARS)
+        assert cert.length >= 2
+        # The two chains anchor at opposite one-step obligations.
+        assert cert.chain_one[0].value == 1
+        assert cert.chain_zero[0].value == 0
+        assert "one-step" in cert.chain_one[0].reason
+        assert "one-step" in cert.chain_zero[0].reason
+
+    def test_certificate_explanation_is_readable(self):
+        cert = prove_theorem1(restrict_hears=FAST_HEARS)
+        text = cert.explain()
+        assert "Theorem 1" in text
+        assert "val=1" in text and "val=0" in text
+
+    def test_chain_links_share_states_with_neighbours(self):
+        # Verify the certificate mechanically: consecutive links must share
+        # either a pivot's two-round state or all survivors' states.
+        cert = prove_theorem1(restrict_hears=FAST_HEARS)
+        for chain in (cert.chain_one, cert.chain_zero):
+            for a, b in zip(chain, chain[1:]):
+                shared_pivot = any(
+                    state2(a.run.spec, pid) == state2(b.run.spec, pid)
+                    for pid in (1, 2, 3, 4)
+                )
+                assert shared_pivot, f"no shared state between links:\n{a}\n{b}"
+
+    def test_run_space_is_nontrivial(self):
+        stable, crash = build_runs(restrict_hears=FAST_HEARS)
+        assert len(stable) > 1000
+        assert len(crash) > 100
+
+    def test_crash_runs_have_survivor_round2_sets(self):
+        _, crash = build_runs(restrict_hears=FAST_HEARS)
+        for run in crash[:50]:
+            for pid in (2, 3, 4):
+                assert run.spec.hears2[pid - 1] == (2, 3, 4)
+
+
+class TestRules:
+    def test_naive_combined_is_one_step_and_zero_degrading_but_unsafe(self):
+        report = check_rule(NaiveCombinedRule(), restrict_hears=FAST_HEARS)
+        assert report.is_one_step
+        assert report.is_zero_degrading
+        assert not report.is_safe
+
+    def test_l_consensus_rule_is_safe_and_zero_degrading_not_one_step(self):
+        report = check_rule(LConsensusRule(), restrict_hears=FAST_HEARS)
+        assert not report.is_one_step
+        assert report.is_zero_degrading
+        assert report.is_safe
+
+    def test_brasileiro_rule_is_safe_and_one_step_not_zero_degrading(self):
+        report = check_rule(BrasileiroRule(), restrict_hears=FAST_HEARS)
+        assert report.is_one_step
+        assert not report.is_zero_degrading
+        assert report.is_safe
+
+    def test_every_rule_fails_something(self):
+        # Theorem 1: no rule can have all three properties.
+        for rule in (NaiveCombinedRule(), LConsensusRule(), BrasileiroRule()):
+            report = check_rule(rule, restrict_hears=FAST_HEARS)
+            assert not (report.is_one_step and report.is_zero_degrading and report.is_safe)
+
+    def test_report_summary_format(self):
+        report = check_rule(NaiveCombinedRule(), restrict_hears=FAST_HEARS)
+        assert "naive-combined" in report.summary()
+        assert "NO" in report.summary()
+
+
+@pytest.mark.slow
+class TestFullSpace:
+    def test_certificate_on_full_space(self):
+        cert = prove_theorem1()
+        assert cert.length >= 2
+
+    def test_rules_on_full_space(self):
+        report = check_rule(NaiveCombinedRule())
+        assert not report.is_safe
+        assert report.runs_checked > 100_000

@@ -1,0 +1,223 @@
+"""Unit tests for the node runtime: CPU model, timers, crash semantics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+from repro.sim.network import ConstantDelay, Network
+from repro.sim.node import Cluster, Node
+from repro.sim.process import Process
+
+
+class Recorder(Process):
+    """Records every callback with its timestamp."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_start(self):
+        self.events.append(("start", self.env.now()))
+
+    def on_message(self, src, msg):
+        self.events.append(("msg", src, msg, self.env.now()))
+
+    def on_timer(self, name):
+        self.events.append(("timer", name, self.env.now()))
+
+    def on_crash(self):
+        self.events.append(("crash",))
+
+
+def build(n=2, service_time=0.0, delay=ConstantDelay(1e-3), seed=0):
+    sim = Simulator(seed=seed)
+    net = Network(sim, delay=delay)
+    pids = list(range(n))
+    nodes = {}
+    procs = {}
+    for pid in pids:
+        procs[pid] = Recorder()
+        nodes[pid] = Node(sim, net, pid, pids, procs[pid], service_time=service_time)
+    return sim, net, nodes, procs
+
+
+class TestLifecycle:
+    def test_on_start_called_at_start_time(self):
+        sim, _, nodes, procs = build()
+        nodes[0].start(at=0.5)
+        nodes[1].start()
+        sim.run()
+        assert procs[0].events[0] == ("start", 0.5)
+        assert procs[1].events[0] == ("start", 0.0)
+
+    def test_double_start_rejected(self):
+        sim, _, nodes, _ = build()
+        nodes[0].start()
+        with pytest.raises(ConfigurationError):
+            nodes[0].start()
+
+    def test_pid_must_be_in_peers(self):
+        sim = Simulator()
+        net = Network(sim)
+        with pytest.raises(ConfigurationError):
+            Node(sim, net, 5, [0, 1], Recorder())
+
+
+class TestMessaging:
+    def test_message_reaches_process(self):
+        sim, _, nodes, procs = build()
+        nodes[0].start()
+        nodes[1].start()
+        procs[0].env.send(1, "ping")
+        sim.run()
+        assert ("msg", 0, "ping", pytest.approx(1e-3)) in procs[1].events
+
+    def test_broadcast_includes_self(self):
+        sim, _, nodes, procs = build(n=3)
+        for node in nodes.values():
+            node.start()
+        procs[0].env.broadcast("hi")
+        sim.run()
+        for pid in range(3):
+            assert any(e[0] == "msg" and e[2] == "hi" for e in procs[pid].events)
+
+
+class TestCpuModel:
+    def test_service_time_serialises_handlers(self):
+        sim, _, nodes, procs = build(service_time=0.01)
+        nodes[0].start()
+        nodes[1].start()
+        # Two messages arrive at the same time; handlers run back-to-back.
+        procs[0].env.send(1, "a")
+        procs[0].env.send(1, "b")
+        sim.run()
+        msg_times = [e[3] for e in procs[1].events if e[0] == "msg"]
+        # FIFO adds epsilon to the second arrival; the CPU adds 10ms each.
+        assert msg_times[0] == pytest.approx(1e-3 + 0.01, abs=1e-6)
+        assert msg_times[1] == pytest.approx(1e-3 + 0.02, abs=1e-6)
+
+    def test_zero_service_time_runs_at_arrival(self):
+        sim, _, nodes, procs = build(service_time=0.0)
+        nodes[0].start()
+        nodes[1].start()
+        procs[0].env.send(1, "a")
+        sim.run()
+        assert procs[1].events[-1][3] == pytest.approx(1e-3)
+
+    def test_callable_service_time(self):
+        cost = lambda kind, payload: 0.05 if kind == "message" else 0.0
+        sim, _, nodes, procs = build(service_time=cost)
+        nodes[0].start()
+        nodes[1].start()
+        procs[0].env.send(1, "a")
+        sim.run()
+        assert procs[1].events[-1][3] == pytest.approx(1e-3 + 0.05)
+
+    def test_utilization_tracked(self):
+        sim, _, nodes, procs = build(service_time=0.01)
+        nodes[0].start()
+        nodes[1].start()
+        for _ in range(5):
+            procs[0].env.send(1, "x")
+        sim.run()
+        assert nodes[1].busy_time == pytest.approx(0.05)
+        assert 0 < nodes[1].utilization() <= 1.0
+
+
+class TestTimers:
+    def test_timer_fires_after_delay(self):
+        sim, _, nodes, procs = build()
+        nodes[0].start()
+        nodes[1].start()
+        procs[0].env.set_timer("tick", 0.25)
+        sim.run()
+        assert ("timer", "tick", 0.25) in procs[0].events
+
+    def test_rearming_resets_timer(self):
+        sim, _, nodes, procs = build()
+        nodes[0].start()
+        nodes[1].start()
+        procs[0].env.set_timer("tick", 0.25)
+        sim.schedule(0.1, lambda: procs[0].env.set_timer("tick", 0.25))
+        sim.run()
+        timers = [e for e in procs[0].events if e[0] == "timer"]
+        assert timers == [("timer", "tick", pytest.approx(0.35))]
+
+    def test_cancel_timer(self):
+        sim, _, nodes, procs = build()
+        nodes[0].start()
+        nodes[1].start()
+        procs[0].env.set_timer("tick", 0.25)
+        sim.schedule(0.1, lambda: procs[0].env.cancel_timer("tick"))
+        sim.run()
+        assert not any(e[0] == "timer" for e in procs[0].events)
+
+    def test_cancel_unknown_timer_is_noop(self):
+        sim, _, nodes, procs = build()
+        nodes[0].start()
+        nodes[1].start()
+        procs[0].env.cancel_timer("ghost")
+        sim.run()
+
+
+class TestCrash:
+    def test_crashed_node_ignores_messages(self):
+        sim, _, nodes, procs = build()
+        nodes[0].start()
+        nodes[1].start()
+        nodes[1].crash()
+        procs[0].env.send(1, "late")
+        sim.run()
+        assert not any(e[0] == "msg" for e in procs[1].events)
+
+    def test_crash_cancels_timers(self):
+        sim, _, nodes, procs = build()
+        nodes[0].start()
+        nodes[1].start()
+        procs[0].env.set_timer("tick", 0.5)
+        nodes[0].crash()
+        sim.run()
+        assert not any(e[0] == "timer" for e in procs[0].events)
+
+    def test_crash_at_schedules_crash(self):
+        sim, _, nodes, procs = build()
+        nodes[0].start()
+        nodes[1].start()
+        nodes[1].crash_at(0.5)
+        sim.schedule(0.6, lambda: procs[0].env.send(1, "after"))
+        sim.run()
+        assert nodes[1].crashed
+        assert not any(e[0] == "msg" for e in procs[1].events)
+
+    def test_crash_notifies_listeners_once(self):
+        sim, _, nodes, _ = build()
+        seen = []
+        nodes[0].add_crash_listener(seen.append)
+        nodes[0].crash()
+        nodes[0].crash()
+        assert seen == [0]
+
+    def test_on_crash_callback_runs(self):
+        sim, _, nodes, procs = build()
+        nodes[0].crash()
+        assert ("crash",) in procs[0].events
+
+
+class TestCluster:
+    def test_cluster_builds_and_runs(self):
+        cluster = Cluster(3, lambda pid, pids: Recorder(), delay=ConstantDelay(1e-3))
+        cluster.start()
+        cluster.run()
+        assert cluster.pids == [0, 1, 2]
+        for proc in cluster.processes.values():
+            assert proc.events[0][0] == "start"
+
+    def test_cluster_crash_helper(self):
+        cluster = Cluster(3, lambda pid, pids: Recorder())
+        cluster.start()
+        cluster.crash(1)
+        cluster.run()
+        assert cluster.alive_pids() == [0, 2]
+
+    def test_cluster_rejects_zero_nodes(self):
+        with pytest.raises(ConfigurationError):
+            Cluster(0, lambda pid, pids: Recorder())

@@ -1,0 +1,161 @@
+"""Protocol tests for single-decree Paxos and Fast Paxos."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import run_consensus
+from repro.protocols import FastPaxosConsensus, PaxosConsensus
+from repro.sim.network import UniformDelay
+
+from tests.conftest import make_fastpaxos, make_paxos
+
+
+class TestPaxosSteadyState:
+    def test_two_steps_with_prepromised_leader(self):
+        result = run_consensus(make_paxos, {0: "a", 1: "b", 2: "c"}, seed=1)
+        assert result.min_steps == 2
+
+    def test_decides_leader_value(self):
+        result = run_consensus(make_paxos, {0: "x", 1: "y", 2: "z"}, seed=2)
+        assert set(result.decisions.values()) == {"x"}
+
+    def test_tolerates_minority_crash(self):
+        result = run_consensus(
+            make_paxos, {0: "a", 1: "b", 2: "c"}, seed=3, initially_crashed=(2,)
+        )
+        assert set(result.decisions.values()) == {"a"}
+
+    def test_f_less_than_half_allows_n3_f1(self):
+        # Paxos tolerates f < n/2 — more than the one-step protocols' n/3.
+        result = run_consensus(
+            make_paxos, {0: "a", 1: "b", 2: "c"}, seed=4, initially_crashed=(1,)
+        )
+        assert len(result.decisions) == 2
+
+    def test_cold_start_without_preprepared_ballot(self):
+        def make(pid, env, oracle, host):
+            return PaxosConsensus(env, oracle.omega(pid), pre_promised=False)
+
+        result = run_consensus(make, {0: "a", 1: "b", 2: "c"}, seed=5, horizon=10.0)
+        assert result.min_steps == 4  # prepare + promise + accept + accepted
+
+    def test_larger_cluster(self):
+        result = run_consensus(make_paxos, {p: f"v{p}" for p in range(5)}, seed=6)
+        assert set(result.decisions.values()) == {"v0"}
+
+
+class TestPaxosLeaderChange:
+    def test_leader_crash_before_accept(self):
+        result = run_consensus(
+            make_paxos,
+            {0: "a", 1: "b", 2: "c"},
+            seed=7,
+            crash_at={0: 1e-6},
+            detection_delay=0.002,
+            horizon=10.0,
+        )
+        assert {1, 2} <= set(result.decisions)
+        assert len(set(result.decisions.values())) == 1
+
+    def test_leader_crash_after_partial_accept_preserves_value(self):
+        # If any acceptor accepted 'a' at ballot 0 and that acceptance
+        # reaches the new leader's quorum, 'a' must win.
+        result = run_consensus(
+            make_paxos,
+            {0: "a", 1: "b", 2: "c"},
+            seed=8,
+            crash_at={0: 0.0015},  # after sending ACCEPT(0, a)
+            detection_delay=0.002,
+            horizon=10.0,
+        )
+        values = set(result.decisions.values())
+        assert len(values) == 1
+
+    def test_sequential_leader_failures(self):
+        result = run_consensus(
+            make_paxos,
+            {p: f"v{p}" for p in range(5)},
+            seed=9,
+            crash_at={0: 1e-6, 1: 0.005},
+            detection_delay=0.002,
+            horizon=10.0,
+        )
+        assert {2, 3, 4} <= set(result.decisions)
+        assert len(set(result.decisions.values())) == 1
+
+    def test_f_bound_enforced(self):
+        with pytest.raises(ConfigurationError):
+            run_consensus(
+                lambda pid, env, oracle, host: PaxosConsensus(
+                    env, oracle.omega(pid), f=2
+                ),
+                {0: "a", 1: "b", 2: "c"},
+                seed=1,
+            )
+
+
+class TestFastPaxos:
+    def test_fast_path_two_steps(self):
+        result = run_consensus(make_fastpaxos, {p: "v" for p in range(4)}, seed=1)
+        assert result.min_steps == 2
+
+    def test_collision_recovers_in_four_steps(self):
+        result = run_consensus(
+            make_fastpaxos, {0: "a", 1: "b", 2: "c", 3: "d"}, seed=2, horizon=10.0
+        )
+        assert result.min_steps == 4
+        assert len(set(result.decisions.values())) == 1
+
+    def test_two_two_split_recovers(self):
+        result = run_consensus(
+            make_fastpaxos, {0: "a", 1: "a", 2: "b", 3: "b"}, seed=3, horizon=10.0
+        )
+        assert len(set(result.decisions.values())) == 1
+
+    def test_fast_path_with_crash(self):
+        result = run_consensus(
+            make_fastpaxos,
+            {p: "v" for p in range(4)},
+            seed=4,
+            initially_crashed=(3,),
+        )
+        assert result.min_steps == 2
+
+    def test_collision_with_crash_uses_recovery_timer(self):
+        result = run_consensus(
+            make_fastpaxos,
+            {0: "a", 1: "b", 2: "c", 3: "d"},
+            seed=5,
+            initially_crashed=(2,),
+            horizon=10.0,
+        )
+        assert len(set(result.decisions.values())) == 1
+
+    def test_o4_preserves_possibly_chosen_value(self):
+        # Three of four propose 'a': 'a' reaches the fast quorum at some
+        # acceptors; any recovery must preserve it.
+        result = run_consensus(
+            make_fastpaxos, {0: "a", 1: "a", 2: "a", 3: "b"}, seed=6, horizon=10.0
+        )
+        assert set(result.decisions.values()) == {"a"}
+
+    def test_quorum_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            run_consensus(
+                lambda pid, env, oracle, host: FastPaxosConsensus(
+                    env, oracle.omega(pid), f=1, e=2
+                ),
+                {0: "a", 1: "b", 2: "c", 3: "d"},
+                seed=1,
+            )
+
+    def test_jitter_sweep_safety(self):
+        for seed in range(8):
+            result = run_consensus(
+                make_fastpaxos,
+                {0: "a", 1: "a", 2: "b", 3: "b"},
+                seed=seed,
+                delay=UniformDelay(1e-4, 3e-3),
+                horizon=10.0,
+            )
+            assert len(set(result.decisions.values())) == 1

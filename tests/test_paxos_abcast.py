@@ -1,0 +1,142 @@
+"""Protocol tests for the Multi-Paxos atomic broadcast baseline."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.abcast_runner import run_abcast
+from repro.protocols import MultiPaxosAbcast
+from repro.sim.network import ConstantDelay, UniformDelay
+
+from tests.conftest import make_multipaxos
+
+D = ConstantDelay(100e-6)
+
+
+class TestSteadyState:
+    def test_non_leader_sender_three_delta(self):
+        result = run_abcast(
+            make_multipaxos, 3, {1: [(0.001, "m")]}, seed=1, delay=D, datagram_delay=D, horizon=5.0
+        )
+        assert result.latency_of((1, 1)) == pytest.approx(3 * 100e-6, rel=0.01)
+
+    def test_leader_sender_skips_the_relay(self):
+        result = run_abcast(
+            make_multipaxos, 3, {0: [(0.001, "m")]}, seed=2, delay=D, datagram_delay=D, horizon=5.0
+        )
+        assert result.latency_of((0, 1)) == pytest.approx(2 * 100e-6, rel=0.01)
+
+    def test_instance_order_is_delivery_order(self):
+        schedule = {1: [(0.002 * (i + 1), f"s{i}") for i in range(10)]}
+        result = run_abcast(make_multipaxos, 3, schedule, seed=3, horizon=5.0)
+        assert result.deliveries[2] == [(1, i + 1) for i in range(10)]
+
+    def test_batching_under_load(self):
+        # Requests arriving while an instance is in flight share a batch.
+        schedules = {p: [(0.001, f"b{p}.{i}") for i in range(5)] for p in range(3)}
+        result = run_abcast(make_multipaxos, 3, schedules, seed=4, horizon=5.0)
+        assert result.delivered_count == 15
+        # All processes deliver identical sequences.
+        assert len({tuple(s) for s in result.deliveries.values()}) == 1
+
+    def test_message_complexity_matches_table1(self):
+        # One uncontended decision: 1 request + n accepts + n^2 accepteds.
+        result = run_abcast(
+            make_multipaxos, 3, {1: [(0.001, "m")]}, seed=5, delay=D, datagram_delay=D, horizon=5.0
+        )
+        kinds = result.network_stats["by_kind"]
+        assert kinds["Request"] == 1
+        assert kinds["LogAccept"] == 3
+        assert kinds["LogAccepted"] == 9
+
+
+class TestLeaderFailover:
+    def test_leader_crash_before_any_request(self):
+        result = run_abcast(
+            make_multipaxos,
+            3,
+            {1: [(0.01, "after-failover")]},
+            seed=6,
+            crash_at={0: 0.001},
+            detection_delay=0.002,
+            horizon=10.0,
+            require_all_delivered=False,
+        )
+        for pid in (1, 2):
+            assert result.deliveries[pid] == [(1, 1)]
+
+    def test_leader_crash_mid_stream_no_loss_for_survivors(self):
+        schedules = {1: [(0.001 * (i + 1), f"m{i}") for i in range(10)]}
+        result = run_abcast(
+            make_multipaxos,
+            3,
+            schedules,
+            seed=7,
+            crash_at={0: 0.0045},
+            detection_delay=0.003,
+            horizon=10.0,
+            require_all_delivered=False,
+        )
+        # Pending requests are re-sent to the new leader: every message the
+        # survivor a-broadcast is eventually delivered, exactly once.
+        for pid in (1, 2):
+            assert [m for m in result.deliveries[pid] if m[0] == 1] == [
+                (1, i + 1) for i in range(10)
+            ]
+
+    def test_no_duplicates_across_failover(self):
+        schedules = {
+            1: [(0.001 * (i + 1), f"x{i}") for i in range(12)],
+            2: [(0.0013 * (i + 1), f"y{i}") for i in range(9)],
+        }
+        result = run_abcast(
+            make_multipaxos,
+            3,
+            schedules,
+            seed=8,
+            crash_at={0: 0.006},
+            detection_delay=0.003,
+            horizon=10.0,
+            require_all_delivered=False,
+        )
+        for seq in result.deliveries.values():
+            assert len(seq) == len(set(seq))
+
+    def test_double_failover_n5(self):
+        schedules = {3: [(0.002 * (i + 1), f"m{i}") for i in range(8)]}
+        result = run_abcast(
+            make_multipaxos,
+            5,
+            schedules,
+            seed=9,
+            crash_at={0: 0.003, 1: 0.009},
+            detection_delay=0.002,
+            horizon=20.0,
+            require_all_delivered=False,
+        )
+        for pid in (2, 3, 4):
+            assert [m for m in result.deliveries[pid] if m[0] == 3] == [
+                (3, i + 1) for i in range(8)
+            ]
+
+    def test_f_bound_enforced(self):
+        with pytest.raises(ConfigurationError):
+            run_abcast(
+                lambda pid, env, oracle, host: MultiPaxosAbcast(
+                    env, oracle.omega(pid), f=2
+                ),
+                3,
+                {0: [(0.001, "x")]},
+                seed=1,
+            )
+
+    def test_jitter_sweep_safety(self):
+        schedules = {p: [(0.0005 * (i + 1), f"j{p}.{i}") for i in range(5)] for p in range(3)}
+        for seed in range(6):
+            run_abcast(
+                make_multipaxos,
+                3,
+                schedules,
+                seed=seed,
+                delay=UniformDelay(50e-6, 400e-6),
+                horizon=10.0,
+            )

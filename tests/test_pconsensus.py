@@ -1,0 +1,208 @@
+"""Protocol tests for P-Consensus (algorithm 2).
+
+The paper's claims: one-step decision with equal proposals *regardless of
+the failure detector output*, zero-degradation in stable runs via the
+consistent ◇P quorum, and liveness once ◇P behaves.
+"""
+
+import pytest
+
+from repro.core import PConsensus
+from repro.errors import ConfigurationError
+from repro.fd.oracle import ScriptedSuspects
+from repro.harness import run_consensus
+from repro.harness.consensus_runner import ConsensusHost
+from repro.sim.kernel import Simulator
+from repro.sim.network import ConstantDelay, Network, UniformDelay
+from repro.sim.node import Node
+
+from tests.conftest import make_p
+
+
+def run_with_scripted_suspects(proposals, scripts, seed=0, horizon=5.0, delay=None):
+    """Run P-Consensus with per-process scripted ◇P timelines."""
+    sim = Simulator(seed=seed)
+    network = Network(sim, delay=delay or ConstantDelay(1e-3))
+    pids = sorted(proposals)
+    hosts, nodes = {}, {}
+    for pid in pids:
+        view = ScriptedSuspects(sim, scripts[pid])
+        host = ConsensusHost(
+            module_factory=lambda h, env, v=view: PConsensus(env, v),
+            proposal=proposals[pid],
+        )
+        hosts[pid] = host
+        nodes[pid] = Node(sim, network, pid, pids, host)
+    for node in nodes.values():
+        node.start()
+    sim.run(until=horizon)
+    return {p: h.decision_value for p, h in hosts.items() if h.decision_value}, hosts
+
+
+class TestOneStep:
+    def test_equal_proposals_decide_in_one_step(self):
+        result = run_consensus(make_p, {p: "v" for p in range(4)}, seed=1)
+        assert result.min_steps == 1
+
+    def test_one_step_is_fd_independent(self):
+        # Even a detector that (wrongly) suspects everyone does not delay
+        # the one-step path: the decision happens before ◇P is consulted.
+        scripts = {p: [(0.0, {q for q in range(4) if q != p})] for p in range(4)}
+        decisions, hosts = run_with_scripted_suspects(
+            {p: "v" for p in range(4)}, scripts, seed=2
+        )
+        assert set(decisions.values()) == {"v"}
+        steps = [
+            h.consensus.decision.steps
+            for h in hosts.values()
+            if h.consensus.decision and h.consensus.decision.via == "round"
+        ]
+        assert min(steps) == 1
+
+    def test_one_step_with_initial_crash(self):
+        result = run_consensus(
+            make_p, {p: "v" for p in range(4)}, seed=3, initially_crashed=(2,)
+        )
+        assert result.min_steps == 1
+
+    def test_larger_cluster(self):
+        result = run_consensus(make_p, {p: 0 for p in range(10)}, seed=4)
+        assert result.min_steps == 1
+
+
+class TestZeroDegradation:
+    def test_mixed_proposals_two_steps(self):
+        result = run_consensus(make_p, {0: "a", 1: "b", 2: "c", 3: "d"}, seed=5)
+        assert result.min_steps == 2
+
+    def test_initial_crash_does_not_degrade(self):
+        for crashed in range(4):
+            result = run_consensus(
+                make_p,
+                {0: "a", 1: "b", 2: "c", 3: "d"},
+                seed=6 + crashed,
+                initially_crashed=(crashed,),
+            )
+            assert result.min_steps == 2, f"degraded with p{crashed} crashed"
+
+    def test_decides_min_quorum_member_estimate_without_majority(self):
+        # Stable run, all proposals distinct: the quorum list has no value
+        # with n - 2f occurrences, so line 12 picks the estimate of the
+        # lowest-index quorum member — p0's value.
+        result = run_consensus(make_p, {0: "a", 1: "b", 2: "c", 3: "d"}, seed=10)
+        assert set(result.decisions.values()) == {"a"}
+
+    def test_majority_value_preferred_over_leader(self):
+        # n - 2f = 2 equal values in the quorum list win over p0's estimate.
+        result = run_consensus(make_p, {0: "a", 1: "b", 2: "b", 3: "c"}, seed=11)
+        assert set(result.decisions.values()) == {"b"}
+
+    def test_n7_f2(self):
+        result = run_consensus(
+            make_p,
+            {p: f"v{p}" for p in range(7)},
+            seed=12,
+            initially_crashed=(4, 6),
+        )
+        assert result.min_steps == 2
+
+
+class TestLiveness:
+    def test_crash_mid_round_with_slow_detection(self):
+        result = run_consensus(
+            make_p,
+            {0: "a", 1: "b", 2: "c", 3: "d"},
+            seed=13,
+            crash_at={0: 0.0001},
+            detection_delay=0.005,
+            horizon=10.0,
+        )
+        assert {1, 2, 3} <= set(result.decisions)
+        assert len(set(result.decisions.values())) == 1
+
+    def test_quorum_member_suspected_late_unblocks_wait(self):
+        # p3 crashes mid-run; the line-6 wait for the quorum must unblock
+        # when ◇P eventually suspects it.
+        result = run_consensus(
+            make_p,
+            {0: "a", 1: "b", 2: "c", 3: "d"},
+            seed=14,
+            crash_at={3: 0.0005},
+            detection_delay=0.01,
+            horizon=10.0,
+        )
+        assert {0, 1, 2} <= set(result.decisions)
+
+    def test_temporary_false_suspicions_are_safe(self):
+        # Every process wrongly suspects a different peer for a while.
+        scripts = {
+            0: [(0.0, {1}), (0.02, set())],
+            1: [(0.0, {2}), (0.02, set())],
+            2: [(0.0, {3}), (0.02, set())],
+            3: [(0.0, {0}), (0.02, set())],
+        }
+        decisions, _ = run_with_scripted_suspects(
+            {0: "a", 1: "b", 2: "c", 3: "d"}, scripts, seed=15
+        )
+        assert len(decisions) == 4
+        assert len(set(decisions.values())) == 1
+
+    def test_heavy_jitter(self):
+        result = run_consensus(
+            make_p,
+            {0: "a", 1: "b", 2: "c", 3: "d"},
+            seed=16,
+            delay=UniformDelay(1e-4, 5e-3),
+            horizon=10.0,
+        )
+        assert len(result.decisions) == 4
+
+
+class TestValidation:
+    def test_f_bound_enforced(self):
+        with pytest.raises(ConfigurationError):
+            run_consensus(
+                lambda pid, env, oracle, host: PConsensus(env, oracle.suspect(pid), f=2),
+                {0: "a", 1: "b", 2: "c", 3: "d"},
+                seed=1,
+            )
+
+    def test_double_propose_rejected(self):
+        from repro.fd.oracle import OracleFailureDetector
+
+        sim = Simulator(seed=0)
+        network = Network(sim, delay=ConstantDelay(1e-3))
+        oracle = OracleFailureDetector(sim, [0, 1, 2, 3])
+        host = ConsensusHost(
+            module_factory=lambda h, env: PConsensus(env, oracle.suspect(0)),
+            proposal="a",
+        )
+        Node(sim, network, 0, [0, 1, 2, 3], host)
+        for pid in (1, 2, 3):
+            Node(
+                sim,
+                network,
+                pid,
+                [0, 1, 2, 3],
+                ConsensusHost(
+                    module_factory=lambda h, env, pid=pid: PConsensus(
+                        env, oracle.suspect(pid)
+                    ),
+                    proposal="b",
+                ),
+            )
+        for node in list(network._nodes.values()):
+            node.start()
+        sim.run(until=0.0001)
+        with pytest.raises(ConfigurationError):
+            host.consensus.propose("again")
+
+    def test_seed_sweep_safety(self):
+        for seed in range(10):
+            run_consensus(make_p, {0: "a", 1: "a", 2: "b", 3: "b"}, seed=seed)
+
+    def test_determinism(self):
+        r1 = run_consensus(make_p, {0: "a", 1: "b", 2: "c", 3: "d"}, seed=21)
+        r2 = run_consensus(make_p, {0: "a", 1: "b", 2: "c", 3: "d"}, seed=21)
+        assert r1.decisions == r2.decisions
+        assert r1.network_stats == r2.network_stats

@@ -1,0 +1,183 @@
+"""Property-based tests: randomised schedules, seeds and crash patterns.
+
+Hypothesis drives the simulator through arbitrary (bounded) scenarios and
+asserts the formal properties of section 3 — consensus agreement/validity
+and atomic-broadcast total order/integrity — hold in every generated run.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TerminationFailure
+from repro.harness import run_consensus
+from repro.harness.abcast_runner import run_abcast
+from repro.sim.network import UniformDelay
+
+from tests.conftest import make_cabcast_p, make_l, make_multipaxos, make_p
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+proposal_values = st.sampled_from(["a", "b", "c"])
+
+
+@st.composite
+def consensus_scenario(draw):
+    n = draw(st.sampled_from([4, 7]))
+    proposals = {p: draw(proposal_values) for p in range(n)}
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    f = (n - 1) // 3
+    crash_count = draw(st.integers(min_value=0, max_value=f))
+    crashed = tuple(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=crash_count,
+                max_size=crash_count,
+                unique=True,
+            )
+        )
+    )
+    crash_times = {
+        pid: draw(st.floats(min_value=0.0, max_value=3e-3)) for pid in crashed
+    }
+    return n, proposals, seed, crash_times
+
+
+class TestConsensusProperties:
+    @SLOW
+    @given(consensus_scenario())
+    def test_l_consensus_safety_under_random_crashes(self, scenario):
+        n, proposals, seed, crash_times = scenario
+        try:
+            result = run_consensus(
+                make_l,
+                proposals,
+                seed=seed,
+                crash_at=crash_times,
+                detection_delay=1.5e-3,
+                delay=UniformDelay(2e-4, 1.5e-3),
+                horizon=5.0,
+            )
+        except TerminationFailure:
+            return  # liveness is checked elsewhere; here only safety matters
+        assert len(set(result.decisions.values())) <= 1
+
+    @SLOW
+    @given(consensus_scenario())
+    def test_p_consensus_safety_under_random_crashes(self, scenario):
+        n, proposals, seed, crash_times = scenario
+        try:
+            result = run_consensus(
+                make_p,
+                proposals,
+                seed=seed,
+                crash_at=crash_times,
+                detection_delay=1.5e-3,
+                delay=UniformDelay(2e-4, 1.5e-3),
+                horizon=5.0,
+            )
+        except TerminationFailure:
+            return
+        assert len(set(result.decisions.values())) <= 1
+
+    @SLOW
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=3),
+            proposal_values,
+            min_size=4,
+            max_size=4,
+        ),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_one_step_whenever_all_proposals_equal(self, proposals, seed):
+        result = run_consensus(make_p, proposals, seed=seed, horizon=5.0)
+        if len(set(proposals.values())) == 1:
+            assert result.min_steps == 1
+        assert set(result.decisions.values()) <= set(proposals.values())
+
+
+@st.composite
+def abcast_scenario(draw):
+    n = draw(st.sampled_from([3, 4]))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    sends = {}
+    for pid in range(n):
+        count = draw(st.integers(min_value=0, max_value=4))
+        times = draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=5e-3),
+                min_size=count,
+                max_size=count,
+            )
+        )
+        sends[pid] = [(t, f"m{pid}.{i}") for i, t in enumerate(sorted(times))]
+    return n, sends, seed
+
+
+class TestAbcastProperties:
+    @SLOW
+    @given(abcast_scenario())
+    def test_cabcast_total_order_on_random_schedules(self, scenario):
+        n, sends, seed = scenario
+        result = run_abcast(
+            make_cabcast_p,
+            max(n, 4) if n < 4 else n,  # C-Abcast needs f < n/3 => n >= 4
+            sends,
+            seed=seed,
+            delay=UniformDelay(2e-4, 1.2e-3),
+            datagram_delay=UniformDelay(2e-4, 1.8e-3),
+            horizon=20.0,
+        )
+        total = sum(len(s) for s in sends.values())
+        assert result.delivered_count == total
+
+    @SLOW
+    @given(abcast_scenario())
+    def test_multipaxos_total_order_on_random_schedules(self, scenario):
+        n, sends, seed = scenario
+        result = run_abcast(
+            make_multipaxos,
+            n,
+            sends,
+            seed=seed,
+            delay=UniformDelay(2e-4, 1.2e-3),
+            horizon=20.0,
+        )
+        total = sum(len(s) for s in sends.values())
+        assert result.delivered_count == total
+
+
+class TestStableRunStepBounds:
+    """Section 9's claim (via [11]): an Ω-based protocol deciding in two
+    steps in every well-behaved run is zero-degrading — here the converse
+    direction is exercised: L/P decide in at most 2 steps in EVERY stable
+    run the generator produces, crashes or not."""
+
+    @SLOW
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from([(), (1,), (2,), (3,)]),
+        st.sampled_from(["l", "p"]),
+    )
+    def test_two_steps_in_every_stable_run(self, seed, crashed, which):
+        make = make_l if which == "l" else make_p
+        proposals = {p: f"v{p % 2}" for p in range(4)}
+        result = run_consensus(
+            make,
+            proposals,
+            seed=seed,
+            initially_crashed=crashed,
+            delay=UniformDelay(1e-4, 4e-3),  # arbitrary asynchrony
+            horizon=10.0,
+        )
+        # Stable run (initial crashes, perfect detector): nobody needs a
+        # third communication step, no matter how messages interleave.
+        assert result.min_steps <= 2
+        for record in result.records.values():
+            if record.via == "round":
+                assert record.steps <= 2

@@ -1,0 +1,262 @@
+"""Guard-level unit tests: drive single L-/P-Consensus modules by hand.
+
+The cluster tests exercise whole runs; these tests pin down the individual
+guard conditions of algorithms 1 and 2 (lines 4/7/9 and 3-14 respectively)
+by feeding hand-picked message sequences to one module through a scripted
+environment — the protocol equivalent of table-driven unit tests.
+"""
+
+import random
+
+from repro.core import Decide, LConsensus, LProp, PConsensus, PProp
+from repro.fd.base import OmegaView, SuspectView
+from repro.sim.process import Environment
+
+
+class ScriptEnv(Environment):
+    """Environment that records sends and runs no clock."""
+
+    def __init__(self, pid=0, n=4):
+        self.pid = pid
+        self.peers = tuple(range(n))
+        self.rng = random.Random(0)
+        self.sent: list[tuple[int, object]] = []
+        self.timers: dict = {}
+
+    def send(self, dst, msg):
+        self.sent.append((dst, msg))
+
+    def datagram(self, dst, msg):
+        self.sent.append((dst, msg))
+
+    def now(self):
+        return 0.0
+
+    def set_timer(self, name, delay):
+        self.timers[name] = delay
+
+    def cancel_timer(self, name):
+        self.timers.pop(name, None)
+
+    def broadcasts_of(self, kind):
+        return [m for _, m in self.sent if isinstance(m, kind)]
+
+
+class FixedOmega(OmegaView):
+    def __init__(self, leader):
+        self._leader = leader
+        self._subs = []
+
+    def leader(self):
+        return self._leader
+
+    def subscribe(self, fn):
+        self._subs.append(fn)
+
+    def change(self, leader):
+        self._leader = leader
+        for fn in self._subs:
+            fn()
+
+
+class FixedSuspects(SuspectView):
+    def __init__(self, suspected=()):
+        self._suspected = frozenset(suspected)
+        self._subs = []
+
+    def suspected(self):
+        return self._suspected
+
+    def subscribe(self, fn):
+        self._subs.append(fn)
+
+    def change(self, suspected):
+        self._suspected = frozenset(suspected)
+        for fn in self._subs:
+            fn()
+
+
+class TestLConsensusGuards:
+    def make(self, leader=1):
+        env = ScriptEnv(pid=0, n=4)
+        omega = FixedOmega(leader)
+        module = LConsensus(env, omega)
+        return env, omega, module
+
+    def test_line4_decides_on_leader_backed_unanimity(self):
+        env, omega, module = self.make(leader=1)
+        module.propose("v")
+        for src in (1, 2, 3):
+            module.on_message(src, LProp(1, "v", 1))
+        assert module.decided and module.decision.value == "v"
+        assert module.decision.steps == 1
+
+    def test_line4_requires_matching_ld_fields(self):
+        # n - f equal values but naming a DIFFERENT leader: no decision.
+        env, omega, module = self.make(leader=1)
+        module.propose("v")
+        for src in (1, 2, 3):
+            module.on_message(src, LProp(1, "v", 2))
+        assert not module.decided
+        assert module.round == 2  # moved on instead
+
+    def test_line4_requires_leader_value_match(self):
+        # Unanimous 'v' with ld-fields = 1, but the leader itself sent 'w'.
+        env, omega, module = self.make(leader=1)
+        module.propose("v")
+        module.on_message(1, LProp(1, "w", 1))
+        module.on_message(2, LProp(1, "v", 1))
+        module.on_message(3, LProp(1, "v", 1))
+        assert not module.decided
+
+    def test_line3_waits_for_leader_message(self):
+        env, omega, module = self.make(leader=3)
+        module.propose("a")
+        module.on_message(0, LProp(1, "a", 3))
+        module.on_message(1, LProp(1, "b", 3))
+        module.on_message(2, LProp(1, "c", 3))
+        assert module.round == 1  # n - f received, but no PROP from p3 yet
+        module.on_message(3, LProp(1, "d", 3))
+        assert module.round == 2
+
+    def test_line3_escape_on_omega_change(self):
+        env, omega, module = self.make(leader=3)
+        module.propose("a")
+        module.on_message(0, LProp(1, "a", 3))
+        module.on_message(1, LProp(1, "b", 3))
+        module.on_message(2, LProp(1, "c", 3))
+        assert module.round == 1
+        omega.change(0)  # Ω stops outputting p3: the wait must unblock
+        assert module.round == 2
+
+    def test_line7_adopts_leader_value(self):
+        env, omega, module = self.make(leader=1)
+        module.propose("mine")
+        module.on_message(1, LProp(1, "leaderval", 1))
+        module.on_message(2, LProp(1, "other", 1))
+        module.on_message(3, LProp(1, "third", 1))
+        assert module.round == 2
+        assert module.est == "leaderval"
+
+    def test_line9_adopts_majority_without_leader_quorum(self):
+        # ld-fields point at different leaders: no majority leader; the
+        # n - 2f = 2 rule applies instead.
+        env, omega, module = self.make(leader=1)
+        module.propose("x")
+        module.on_message(1, LProp(1, "w", 2))
+        module.on_message(2, LProp(1, "w", 3))
+        module.on_message(3, LProp(1, "z", 0))
+        assert module.round == 2
+        assert module.est == "w"
+
+    def test_est_unchanged_when_no_rule_applies(self):
+        env, omega, module = self.make(leader=1)
+        module.propose("x")
+        module.on_message(1, LProp(1, "a", 2))
+        module.on_message(2, LProp(1, "b", 3))
+        module.on_message(3, LProp(1, "c", 0))
+        assert module.round == 2
+        assert module.est == "x"
+
+    def test_buffered_future_round_messages_apply_on_arrival(self):
+        env, omega, module = self.make(leader=1)
+        # Round-2 messages arrive before the module even proposes.
+        for src in (1, 2, 3):
+            module.on_message(src, LProp(2, "v", 1))
+        module.propose("v")
+        # Round 1: leader's PROP arrives with everyone else's.
+        for src in (1, 2, 3):
+            module.on_message(src, LProp(1, "v", 1))
+        assert module.decided  # decided in round 1 directly
+
+    def test_decide_message_short_circuits(self):
+        env, omega, module = self.make()
+        module.on_message(2, Decide("early", 1))
+        assert module.decided and module.decision.via == "forward"
+        # And it forwarded to the other three processes.
+        assert len(env.broadcasts_of(Decide)) == 3
+
+
+class TestPConsensusGuards:
+    def make(self, suspected=()):
+        env = ScriptEnv(pid=0, n=4)
+        view = FixedSuspects(suspected)
+        module = PConsensus(env, view)
+        return env, view, module
+
+    def test_one_step_on_equal_values(self):
+        env, view, module = self.make()
+        module.propose("v")
+        module.on_message(0, PProp(1, "v"))
+        module.on_message(1, PProp(1, "v"))
+        module.on_message(2, PProp(1, "v"))
+        assert module.decided and module.decision.steps == 1
+
+    def test_quorum_fixed_when_nf_wait_passes(self):
+        env, view, module = self.make()
+        module.propose("a")
+        module.on_message(0, PProp(1, "a"))
+        module.on_message(1, PProp(1, "b"))
+        module.on_message(2, PProp(1, "c"))
+        # Quorum = first n - f non-suspected = {0, 1, 2}; all heard => round 2.
+        assert module.round == 2
+
+    def test_line6_waits_for_unheard_quorum_member(self):
+        env, view, module = self.make()
+        module.propose("a")
+        module.on_message(0, PProp(1, "a"))
+        module.on_message(1, PProp(1, "b"))
+        module.on_message(3, PProp(1, "c"))  # p3 is NOT in Q = {0,1,2}
+        assert module.round == 1  # still waiting for p2
+        module.on_message(2, PProp(1, "d"))
+        assert module.round == 2
+
+    def test_line6_unblocks_when_member_suspected(self):
+        env, view, module = self.make()
+        module.propose("a")
+        module.on_message(0, PProp(1, "a"))
+        module.on_message(1, PProp(1, "b"))
+        module.on_message(3, PProp(1, "c"))
+        assert module.round == 1
+        view.change({2})  # quorum member suspected: the wait releases
+        assert module.round == 2
+
+    def test_line10_majority_in_complete_quorum(self):
+        env, view, module = self.make()
+        module.propose("a")
+        module.on_message(0, PProp(1, "w"))
+        module.on_message(1, PProp(1, "w"))
+        module.on_message(2, PProp(1, "z"))
+        assert module.round == 2
+        assert module.est == "w"  # n - 2f = 2 occurrences in the quorum list
+
+    def test_line12_lowest_index_estimate(self):
+        env, view, module = self.make()
+        module.propose("a")
+        module.on_message(0, PProp(1, "p0val"))
+        module.on_message(1, PProp(1, "p1val"))
+        module.on_message(2, PProp(1, "p2val"))
+        assert module.round == 2
+        assert module.est == "p0val"
+
+    def test_line14_incomplete_quorum_majority_fallback(self):
+        # Q fixed as {0,1,2}; p2 then gets suspected, so Qlist is short and
+        # the strict-majority rule over everything received applies.
+        env, view, module = self.make()
+        module.propose("a")
+        module.on_message(0, PProp(1, "m"))
+        module.on_message(1, PProp(1, "m"))
+        module.on_message(3, PProp(1, "z"))
+        view.change({2})
+        assert module.round == 2
+        assert module.est == "m"
+
+    def test_suspected_processes_excluded_from_quorum(self):
+        env, view, module = self.make(suspected={0})
+        module.propose("a")
+        module.on_message(1, PProp(1, "x"))
+        module.on_message(2, PProp(1, "y"))
+        module.on_message(3, PProp(1, "z"))
+        # Q = first 3 non-suspected = {1, 2, 3}; all heard.
+        assert module.round == 2
+        assert module.est == "x"  # estimate of min(Q) = p1

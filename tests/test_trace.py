@@ -1,0 +1,48 @@
+"""Unit tests for the structured tracer."""
+
+from repro.sim.trace import TraceRecord, Tracer
+
+
+class TestTracer:
+    def test_emit_and_query_by_kind(self):
+        tracer = Tracer()
+        tracer.emit(1.0, 0, "decide", "v")
+        tracer.emit(2.0, 1, "deliver", "m")
+        tracer.emit(3.0, 0, "decide", "w")
+        assert [r.data for r in tracer.of_kind("decide")] == ["v", "w"]
+
+    def test_by_pid_groups(self):
+        tracer = Tracer()
+        tracer.emit(1.0, 0, "x")
+        tracer.emit(2.0, 1, "x")
+        tracer.emit(3.0, 0, "y")
+        groups = tracer.by_pid()
+        assert len(groups[0]) == 2 and len(groups[1]) == 1
+        assert len(tracer.by_pid("x")[0]) == 1
+
+    def test_first(self):
+        tracer = Tracer()
+        assert tracer.first("never") is None
+        tracer.emit(1.0, 0, "a", 1)
+        tracer.emit(2.0, 0, "a", 2)
+        assert tracer.first("a").data == 1
+
+    def test_subscribers_get_records_synchronously(self):
+        tracer = Tracer()
+        seen = []
+        tracer.subscribe(seen.append)
+        tracer.emit(1.0, 2, "evt")
+        assert seen == [TraceRecord(1.0, 2, "evt", None)]
+
+    def test_kinds_and_filter(self):
+        tracer = Tracer()
+        tracer.emit(1.0, 0, "a")
+        tracer.emit(2.0, 0, "b")
+        assert tracer.kinds() == {"a", "b"}
+        assert len(list(tracer.filter(lambda r: r.time > 1.5))) == 1
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(1.0, 0, "a")
+        tracer.clear()
+        assert tracer.records == []

@@ -1,0 +1,59 @@
+"""Tests for tracer wiring in the harness runners."""
+
+from repro.harness import run_consensus
+from repro.harness.abcast_runner import run_abcast
+from repro.harness.factories import cabcast_p, l_consensus, p_consensus
+from repro.sim.trace import Tracer
+
+
+class TestConsensusTracing:
+    def test_decide_records_carry_steps_and_via(self):
+        tracer = Tracer()
+        run_consensus(p_consensus, {p: "v" for p in range(4)}, seed=1, tracer=tracer)
+        decides = tracer.of_kind("decide")
+        assert len(decides) == 4
+        for record in decides:
+            assert record.data["value"] == "v"
+            assert record.data["steps"] == 1
+            assert record.data["via"] in ("round", "forward")
+
+    def test_trace_times_are_monotone_per_pid(self):
+        tracer = Tracer()
+        run_consensus(
+            l_consensus, {0: "a", 1: "b", 2: "c", 3: "d"}, seed=2, tracer=tracer
+        )
+        times = [r.time for r in tracer.records]
+        assert times == sorted(times)
+
+    def test_no_tracer_means_no_overhead_records(self):
+        result = run_consensus(p_consensus, {p: "v" for p in range(4)}, seed=3)
+        assert result.decisions  # simply runs without a tracer
+
+
+class TestAbcastTracing:
+    def test_broadcast_and_deliver_events(self):
+        tracer = Tracer()
+        run_abcast(
+            cabcast_p,
+            4,
+            {0: [(0.001, "x")], 1: [(0.004, "y")]},
+            seed=4,
+            horizon=5.0,
+            tracer=tracer,
+        )
+        broadcasts = tracer.of_kind("a-broadcast")
+        delivers = tracer.of_kind("a-deliver")
+        assert {r.data for r in broadcasts} == {(0, 1), (1, 1)}
+        # Every message delivered at every process.
+        assert len(delivers) == 8
+        for record in delivers:
+            assert record.data in {(0, 1), (1, 1)}
+
+    def test_deliver_never_precedes_broadcast(self):
+        tracer = Tracer()
+        run_abcast(
+            cabcast_p, 4, {2: [(0.001, "z")]}, seed=5, horizon=5.0, tracer=tracer
+        )
+        sent_at = tracer.first("a-broadcast").time
+        for record in tracer.of_kind("a-deliver"):
+            assert record.time >= sent_at

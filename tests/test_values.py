@@ -1,0 +1,90 @@
+"""Unit and property tests for value counting and canonical ordering."""
+
+from dataclasses import dataclass
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.values import canonical_key, majority_value, value_with_count_at_least
+
+
+@dataclass(frozen=True)
+class Point:
+    x: int
+    y: int
+
+
+class TestCanonicalKey:
+    def test_frozensets_of_strings_are_order_independent(self):
+        a = frozenset(["alpha", "beta", "gamma"])
+        b = frozenset(["gamma", "alpha", "beta"])
+        assert canonical_key(a) == canonical_key(b)
+
+    def test_distinct_values_get_distinct_keys(self):
+        assert canonical_key(frozenset([1])) != canonical_key(frozenset([2]))
+        assert canonical_key((1, 2)) != canonical_key((2, 1))
+
+    def test_dataclasses_serialise_fields(self):
+        assert canonical_key(Point(1, 2)) == canonical_key(Point(1, 2))
+        assert canonical_key(Point(1, 2)) != canonical_key(Point(2, 1))
+
+    def test_type_disambiguation(self):
+        assert canonical_key(1) != canonical_key("1")
+
+    def test_nested_containers(self):
+        v = frozenset([(1, frozenset(["a", "b"])), (2, frozenset())])
+        w = frozenset([(2, frozenset()), (1, frozenset(["b", "a"]))])
+        assert canonical_key(v) == canonical_key(w)
+
+    @given(st.lists(st.text(max_size=5), max_size=8))
+    def test_key_is_a_function_of_set_contents(self, items):
+        assert canonical_key(frozenset(items)) == canonical_key(frozenset(reversed(items)))
+
+
+class TestThresholdCount:
+    def test_finds_value_at_threshold(self):
+        assert value_with_count_at_least(["a", "a", "b"], 2) == "a"
+
+    def test_none_below_threshold(self):
+        assert value_with_count_at_least(["a", "b", "c"], 2) is None
+
+    def test_empty_input(self):
+        assert value_with_count_at_least([], 1) is None
+
+    def test_highest_count_wins(self):
+        assert value_with_count_at_least(["a", "a", "a", "b", "b"], 2) == "a"
+
+    def test_deterministic_tie_break(self):
+        winner = value_with_count_at_least(["b", "b", "a", "a"], 2)
+        assert winner == value_with_count_at_least(["a", "a", "b", "b"], 2)
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=20),
+           st.integers(min_value=1, max_value=10))
+    def test_returned_value_meets_threshold(self, values, threshold):
+        winner = value_with_count_at_least(values, threshold)
+        if winner is not None:
+            assert values.count(winner) >= threshold
+        else:
+            assert all(values.count(v) < threshold for v in set(values))
+
+
+class TestMajority:
+    def test_strict_majority_found(self):
+        assert majority_value(["x", "x", "y"]) == "x"
+
+    def test_half_is_not_majority(self):
+        assert majority_value(["x", "x", "y", "y"]) is None
+
+    def test_empty(self):
+        assert majority_value([]) is None
+
+    def test_singleton(self):
+        assert majority_value(["only"]) == "only"
+
+    @given(st.lists(st.integers(min_value=0, max_value=2), max_size=15))
+    def test_majority_is_unique_and_strict(self, values):
+        winner = majority_value(values)
+        if winner is not None:
+            assert values.count(winner) * 2 > len(values)
+        else:
+            assert all(values.count(v) * 2 <= len(values) for v in set(values))

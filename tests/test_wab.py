@@ -1,0 +1,155 @@
+"""Unit tests for the WAB ordering oracle."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.oracles.wab import WabMessage, WabOracle
+from repro.sim.kernel import Simulator
+from repro.sim.network import ConstantDelay, Network, UniformDelay
+from repro.sim.node import Node
+from repro.sim.process import HostProcess
+
+
+class WabHost(HostProcess):
+    def __init__(self, repeats=0):
+        super().__init__()
+        self.repeats = repeats
+        self.wab = None
+        self.delivered = []
+
+    def on_start(self):
+        self.wab = self.attach(
+            ("wab",),
+            lambda env: WabOracle(env, self._deliver, repeats=self.repeats),
+        )
+
+    def _deliver(self, instance, payload, position):
+        self.delivered.append((instance, payload, position, self.env.now()))
+
+
+def wab_cluster(n=4, delay=ConstantDelay(1e-3), datagram_delay=None, loss=0.0, repeats=0, seed=0):
+    sim = Simulator(seed=seed)
+    net = Network(sim, delay=delay, datagram_delay=datagram_delay or delay, datagram_loss=loss)
+    pids = list(range(n))
+    hosts = {pid: WabHost(repeats=repeats) for pid in pids}
+    nodes = {pid: Node(sim, net, pid, pids, hosts[pid]) for pid in pids}
+    for node in nodes.values():
+        node.start()
+    sim.run(until=1e-9)  # attach modules
+    return sim, hosts
+
+
+class TestDelivery:
+    def test_validity_all_correct_processes_deliver(self):
+        sim, hosts = wab_cluster()
+        hosts[0].wab.w_broadcast(1, "m")
+        sim.run()
+        for host in hosts.values():
+            assert [(i, p) for i, p, _, _ in host.delivered] == [(1, "m")]
+
+    def test_first_position_is_zero(self):
+        sim, hosts = wab_cluster()
+        hosts[0].wab.w_broadcast(1, "a")
+        sim.run()
+        assert all(h.delivered[0][2] == 0 for h in hosts.values())
+
+    def test_positions_increment_within_instance(self):
+        sim, hosts = wab_cluster()
+        hosts[0].wab.w_broadcast(1, "a")
+        hosts[1].wab.w_broadcast(1, "b")
+        sim.run()
+        for host in hosts.values():
+            positions = [pos for i, _, pos, _ in host.delivered if i == 1]
+            assert sorted(positions) == [0, 1]
+
+    def test_instances_are_independent(self):
+        sim, hosts = wab_cluster()
+        hosts[0].wab.w_broadcast(1, "a")
+        hosts[0].wab.w_broadcast(2, "b")
+        sim.run()
+        for host in hosts.values():
+            firsts = [(i, pos) for i, _, pos, _ in host.delivered]
+            assert (1, 0) in firsts and (2, 0) in firsts
+
+    def test_spontaneous_order_holds_without_contention(self):
+        # Sequential uncontended broadcasts: every process sees the same
+        # first message in every instance.
+        sim, hosts = wab_cluster(datagram_delay=UniformDelay(0.5e-3, 1.5e-3), seed=5)
+        for k in range(10):
+            sender = k % 4
+            sim.schedule(k * 0.01, lambda k=k, s=sender: hosts[s].wab.w_broadcast(k, f"m{k}"))
+        sim.run()
+        for k in range(10):
+            firsts = {
+                next(p for i, p, pos, _ in h.delivered if i == k and pos == 0)
+                for h in hosts.values()
+            }
+            assert len(firsts) == 1
+
+    def test_spontaneous_order_breaks_under_contention(self):
+        # Simultaneous broadcasts with jitter: some instance sees different
+        # first messages at different processes.
+        sim, hosts = wab_cluster(datagram_delay=UniformDelay(0.5e-3, 1.5e-3), seed=7)
+        for k in range(10):
+            for sender in range(4):
+                sim.schedule(k * 0.01, lambda k=k, s=sender: hosts[s].wab.w_broadcast(k, f"m{k}-{s}"))
+        sim.run()
+        disagreements = 0
+        for k in range(10):
+            firsts = {
+                next(p for i, p, pos, _ in h.delivered if i == k and pos == 0)
+                for h in hosts.values()
+            }
+            if len(firsts) > 1:
+                disagreements += 1
+        assert disagreements > 0
+
+
+class TestIntegrity:
+    def test_duplicate_frames_suppressed(self):
+        sim, hosts = wab_cluster(repeats=3)
+        hosts[0].wab.w_broadcast(1, "m")
+        sim.run()
+        for host in hosts.values():
+            assert len(host.delivered) == 1
+
+    def test_same_payload_different_broadcasts_both_delivered(self):
+        sim, hosts = wab_cluster()
+        hosts[0].wab.w_broadcast(1, "same")
+        hosts[1].wab.w_broadcast(1, "same")
+        sim.run()
+        for host in hosts.values():
+            assert len([d for d in host.delivered if d[0] == 1]) == 2
+
+    def test_non_wab_messages_ignored(self):
+        sim, hosts = wab_cluster()
+        hosts[0].wab.on_message(1, "not-a-wab-message")
+        assert hosts[0].delivered == []
+
+    def test_repeats_restore_validity_under_loss(self):
+        sim, hosts = wab_cluster(loss=0.4, repeats=6, seed=11)
+        hosts[0].wab.w_broadcast(1, "m")
+        sim.run()
+        delivered_counts = [len(h.delivered) for h in hosts.values()]
+        assert all(c == 1 for c in delivered_counts)
+
+    def test_negative_repeats_rejected(self):
+        sim, hosts = wab_cluster()
+        with pytest.raises(ConfigurationError):
+            WabOracle(hosts[0].wab.env, lambda *a: None, repeats=-1)
+
+
+class TestAccounting:
+    def test_counters(self):
+        sim, hosts = wab_cluster()
+        hosts[0].wab.w_broadcast(1, "a")
+        sim.run()
+        assert hosts[0].wab.broadcasts == 1
+        assert hosts[0].wab.deliveries == 1
+        assert hosts[1].wab.delivered_in(1) == 1
+        assert hosts[1].wab.delivered_in(99) == 0
+
+    def test_wab_message_identity(self):
+        a = WabMessage(1, "x", 0, 1)
+        b = WabMessage(1, "x", 0, 1)
+        assert a == b and hash(a) == hash(b)
