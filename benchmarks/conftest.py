@@ -8,11 +8,31 @@ regenerable.  ``pytest benchmarks/ --benchmark-only`` runs everything.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def engine_jobs() -> int:
+    """Worker processes for engine-driven sweeps (``REPRO_BENCH_JOBS``).
+
+    Defaults to serial so timings stay comparable; export
+    ``REPRO_BENCH_JOBS=4`` to fan the Figure-2/3 grids out — results are
+    identical, the runs are deterministic and independent.
+    """
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+def engine_cache() -> str | None:
+    """Result-cache directory for sweeps (``REPRO_BENCH_CACHE``).
+
+    With a cache set, re-running a bench only executes cells whose spec
+    changed; unchanged figures are served from disk.
+    """
+    return os.environ.get("REPRO_BENCH_CACHE") or None
 
 
 @pytest.fixture

@@ -16,7 +16,7 @@ import statistics
 from repro.harness.factories import cabcast_l, cabcast_p, wabcast
 from repro.workload.experiment import latency_vs_throughput
 
-from conftest import once
+from conftest import engine_cache, engine_jobs, once
 
 THROUGHPUTS = (20, 50, 80, 100, 150, 200, 250, 300, 350, 400, 450, 500)
 DURATION = 3.0
@@ -25,7 +25,8 @@ WARMUP = 0.5
 
 def sweep(make, seed=101):
     return latency_vs_throughput(
-        make, 4, THROUGHPUTS, duration=DURATION, warmup=WARMUP, drain=1.5, seed=seed
+        make, 4, THROUGHPUTS, duration=DURATION, warmup=WARMUP, drain=1.5, seed=seed,
+        jobs=engine_jobs(), cache=engine_cache(),
     )
 
 

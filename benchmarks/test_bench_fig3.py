@@ -14,25 +14,26 @@ import statistics
 from repro.harness.factories import cabcast_l, cabcast_p, multipaxos_abcast
 from repro.workload.experiment import latency_vs_throughput
 
-from conftest import once
+from conftest import engine_cache, engine_jobs, once
 
 THROUGHPUTS = (20, 50, 80, 100, 150, 200, 250, 300, 350, 400, 450, 500)
 DURATION = 3.0
 WARMUP = 0.5
 
 
+def sweep(make, n):
+    return latency_vs_throughput(
+        make, n, THROUGHPUTS, duration=DURATION, warmup=WARMUP, seed=202,
+        jobs=engine_jobs(), cache=engine_cache(),
+    )
+
+
 def test_fig3(benchmark, report):
     def experiment():
         return {
-            "P-Consensus": latency_vs_throughput(
-                cabcast_p, 4, THROUGHPUTS, duration=DURATION, warmup=WARMUP, seed=202
-            ),
-            "L-Consensus": latency_vs_throughput(
-                cabcast_l, 4, THROUGHPUTS, duration=DURATION, warmup=WARMUP, seed=202
-            ),
-            "Paxos": latency_vs_throughput(
-                multipaxos_abcast, 3, THROUGHPUTS, duration=DURATION, warmup=WARMUP, seed=202
-            ),
+            "P-Consensus": sweep(cabcast_p, 4),
+            "L-Consensus": sweep(cabcast_l, 4),
+            "Paxos": sweep(multipaxos_abcast, 3),
         }
 
     curves = once(benchmark, experiment)

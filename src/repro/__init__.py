@@ -53,6 +53,14 @@ from repro.fd import (
     OracleFailureDetector,
     SuspectView,
 )
+from repro.engine import (
+    AbcastRunSpec,
+    ClusterSpec,
+    ConsensusRunSpec,
+    RunReport,
+    run_sweep,
+    sweep_grid,
+)
 from repro.harness import run_consensus
 from repro.harness.abcast_runner import run_abcast
 from repro.oracles import WabOracle
@@ -97,6 +105,13 @@ __all__ = [
     "run_consensus",
     "run_abcast",
     "latency_vs_throughput",
+    # engine
+    "AbcastRunSpec",
+    "ClusterSpec",
+    "ConsensusRunSpec",
+    "RunReport",
+    "run_sweep",
+    "sweep_grid",
     # errors
     "ReproError",
     "ConfigurationError",

@@ -4,34 +4,46 @@
 
 * ``consensus`` — one consensus instance on a simulated cluster;
 * ``abcast``    — an atomic-broadcast session with a Poisson workload;
-* ``sweep``     — the Figure-2/3 latency-vs-throughput experiment, with an
-  ASCII chart;
+* ``sweep``     — the Figure-2/3 latency-vs-throughput experiment on the
+  parallel engine: ``--jobs N`` fans runs over worker processes,
+  ``--cache DIR`` reuses results by spec hash, ``--json OUT`` exports the
+  structured reports;
 * ``table1``    — the analytical Table 1 for a given group size;
 * ``theorem1``  — the executable Theorem-1 impossibility certificate.
+
+Every command describes its run as a frozen spec
+(:mod:`repro.engine.spec`) and resolves protocols through the single
+registry (:mod:`repro.harness.registry`).
 
 Examples::
 
     python -m repro consensus --protocol p-consensus --proposals a,b,c,d
     python -m repro abcast --protocol cabcast-l --rate 200 --duration 1.0
-    python -m repro sweep --protocols cabcast-p,wabcast --rates 20,100,300,500
+    python -m repro sweep --protocols cabcast-p,wabcast --rates 20,100,300,500 \
+        --jobs 4 --cache ~/.cache/repro-sweeps --json out.json
     python -m repro theorem1
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
 from repro.analysis.complexity import format_table1
 from repro.analysis.textplot import line_chart
+from repro.engine import PAPER_LAN, AbcastRunSpec, ClusterSpec, ConsensusRunSpec
+from repro.engine.runner import run_sweep, sweep_grid
 from repro.harness.abcast_runner import run_abcast
 from repro.harness.consensus_runner import run_consensus
-from repro.harness.factories import ABCAST_FACTORIES, CONSENSUS_FACTORIES
-from repro.workload.experiment import latency_vs_throughput
-from repro.workload.generator import poisson_schedule
+from repro.harness.registry import ABCAST, CONSENSUS, PROTOCOLS, protocol_names
+from repro.workload.metrics import summarize
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "SWEEP_JSON_SCHEMA"]
+
+#: Schema tag of the ``sweep --json`` document (see docs/ENGINE.md).
+SWEEP_JSON_SCHEMA = "repro.sweep.v1"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,7 +55,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cons = sub.add_parser("consensus", help="run one consensus instance")
     p_cons.add_argument(
-        "--protocol", choices=sorted(CONSENSUS_FACTORIES), default="p-consensus"
+        "--protocol", choices=protocol_names(CONSENSUS), default="p-consensus"
     )
     p_cons.add_argument(
         "--proposals",
@@ -62,7 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_ab = sub.add_parser("abcast", help="run an atomic-broadcast session")
     p_ab.add_argument(
-        "--protocol", choices=sorted(ABCAST_FACTORIES), default="cabcast-p"
+        "--protocol", choices=protocol_names(ABCAST), default="cabcast-p"
     )
     p_ab.add_argument("--n", type=int, default=4)
     p_ab.add_argument("--rate", type=float, default=100.0, help="aggregate msg/s")
@@ -73,12 +85,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--protocols",
         default="cabcast-p,cabcast-l,wabcast",
-        help="comma-separated names from: " + ",".join(sorted(ABCAST_FACTORIES)),
+        help="comma-separated names from: " + ",".join(protocol_names(ABCAST)),
     )
     p_sweep.add_argument("--rates", default="20,100,300,500")
     p_sweep.add_argument("--n", type=int, default=4)
     p_sweep.add_argument("--duration", type=float, default=1.5)
     p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument(
+        "--repeats", type=int, default=1, help="independent seeds pooled per point"
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the run grid"
+    )
+    p_sweep.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="on-disk result cache; unchanged cells are not re-run",
+    )
+    p_sweep.add_argument(
+        "--json",
+        dest="json_out",
+        default=None,
+        metavar="FILE",
+        help="write the structured run reports to FILE",
+    )
     p_sweep.add_argument("--no-chart", action="store_true")
 
     p_t1 = sub.add_parser("table1", help="print the analytical Table 1")
@@ -96,21 +127,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_consensus(args: argparse.Namespace) -> int:
     values = args.proposals.split(",")
-    proposals = {pid: value for pid, value in enumerate(values)}
-    crash_at = {}
+    crash_at = []
     for item in args.crash:
         pid_text, _, time_text = item.partition(":")
-        crash_at[int(pid_text)] = float(time_text)
-    result = run_consensus(
-        CONSENSUS_FACTORIES[args.protocol],
-        proposals,
+        crash_at.append((int(pid_text), float(time_text)))
+    spec = ConsensusRunSpec(
+        protocol=args.protocol,
+        proposals=tuple(values),
         seed=args.seed,
-        crash_at=crash_at or None,
-        detection_delay=args.detection_delay,
+        cluster=ClusterSpec(detection_delay=args.detection_delay),
+        crash_at=tuple(crash_at),
         horizon=30.0,
     )
+    result = run_consensus(spec)
     print(f"protocol : {args.protocol} (n={len(values)})")
-    print(f"proposals: {proposals}")
+    print(f"proposals: {dict(enumerate(values))}")
     for pid, record in sorted(result.records.items()):
         print(
             f"  p{pid} decided {record.value!r} after {record.steps} step(s) "
@@ -123,15 +154,16 @@ def _cmd_consensus(args: argparse.Namespace) -> int:
 
 
 def _cmd_abcast(args: argparse.Namespace) -> int:
-    schedules = poisson_schedule(args.n, args.rate, args.duration, seed=args.seed)
-    result = run_abcast(
-        ABCAST_FACTORIES[args.protocol],
-        args.n,
-        schedules,
+    spec = AbcastRunSpec(
+        protocol=args.protocol,
+        rate=args.rate,
+        duration=args.duration,
+        n=args.n,
         seed=args.seed,
-        horizon=args.duration + 2.0,
+        drain=2.0,
     )
-    sent = sum(len(s) for s in schedules.values())
+    result = run_abcast(spec)
+    sent = len(result.broadcast)
     latencies = result.latencies()
     mean_ms = sum(latencies) / len(latencies) * 1e3 if latencies else float("nan")
     print(f"protocol : {args.protocol} (n={args.n})")
@@ -144,38 +176,82 @@ def _cmd_abcast(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     names = [name.strip() for name in args.protocols.split(",") if name.strip()]
-    unknown = [name for name in names if name not in ABCAST_FACTORIES]
+    unknown = [
+        name
+        for name in names
+        if name not in PROTOCOLS or PROTOCOLS[name].kind != ABCAST
+    ]
     if unknown:
         print(f"unknown protocols: {unknown}", file=sys.stderr)
         return 2
     rates = [float(r) for r in args.rates.split(",")]
-    curves = {}
+
+    specs = sweep_grid(
+        names,
+        rates,
+        duration=args.duration,
+        n=args.n,
+        seed=args.seed,
+        warmup=min(0.5, args.duration * 0.2),
+        repeats=args.repeats,
+        cluster=PAPER_LAN,
+    )
     for name in names:
-        n = 3 if name == "multipaxos" else args.n
-        print(f"sweeping {name} (n={n}) ...", file=sys.stderr)
-        curves[name] = latency_vs_throughput(
-            ABCAST_FACTORIES[name],
-            n,
-            rates,
-            duration=args.duration,
-            warmup=min(0.5, args.duration * 0.2),
-            seed=args.seed,
+        group = PROTOCOLS[name].default_n or args.n
+        print(f"sweeping {name} (n={group}) ...", file=sys.stderr)
+    sweep = run_sweep(specs, jobs=args.jobs, cache=args.cache)
+    if args.cache is not None:
+        print(
+            f"cache    : {sweep.cache_hits} hits, {sweep.cache_misses} misses "
+            f"({sweep.hit_rate:.0%} hit rate) in {args.cache}",
+            file=sys.stderr,
         )
+
+    # Pool repeats into one curve point per (protocol, rate).
+    curves: dict[str, list[float]] = {}
+    reports = iter(sweep.reports)
+    for name in names:
+        means: list[float] = []
+        for _ in rates:
+            pooled: list[float] = []
+            for _ in range(args.repeats):
+                pooled.extend(next(reports).latencies)
+            means.append(summarize(pooled).scaled(1e3).mean)
+        curves[name] = means
+
     print(f"{'msg/s':<10}" + "".join(f"{name:<16}" for name in names))
     for i, rate in enumerate(rates):
         row = f"{rate:<10.0f}"
         for name in names:
-            row += f"{curves[name][i].mean_latency_ms:<16.2f}"
+            row += f"{curves[name][i]:<16.2f}"
         print(row)
     if not args.no_chart:
         print()
         print(
             line_chart(
-                {name: [p.mean_latency_ms for p in pts] for name, pts in curves.items()},
+                curves,
                 [int(r) for r in rates],
                 title="mean latency [ms] vs throughput [msg/s]",
             )
         )
+
+    if args.json_out:
+        document = {
+            "schema": SWEEP_JSON_SCHEMA,
+            "grid": {
+                "protocols": names,
+                "rates": rates,
+                "n": args.n,
+                "duration": args.duration,
+                "seed": args.seed,
+                "repeats": args.repeats,
+            },
+            "runs": [report.to_dict() for report in sweep.reports],
+        }
+        with open(args.json_out, "w") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote    : {args.json_out}", file=sys.stderr)
     return 0
 
 

@@ -1,0 +1,67 @@
+"""Parallel experiment engine: run specs, result cache, sweep executor.
+
+The engine turns the paper's evaluation grid (protocol × rate × seed) into
+data-described, content-addressed, embarrassingly parallel work:
+
+* :mod:`repro.engine.spec` — frozen :class:`RunSpec` family describing runs;
+* :mod:`repro.engine.report` — structured, JSON-serialisable results;
+* :mod:`repro.engine.cache` — on-disk cache keyed by spec hash;
+* :mod:`repro.engine.runner` — the parallel executor (``run_sweep``).
+
+Quick use::
+
+    from repro.engine import AbcastRunSpec, PAPER_LAN, run_sweep, sweep_grid
+
+    specs = sweep_grid(["cabcast-p", "wabcast"], rates=[20, 100, 300],
+                       duration=1.5, warmup=0.3, cluster=PAPER_LAN)
+    result = run_sweep(specs, jobs=4, cache="~/.cache/repro-sweeps")
+    for report in result.reports:
+        print(report.protocol, report.rate, report.mean_latency_ms)
+"""
+
+from repro.engine.cache import ResultCache
+from repro.engine.report import REPORT_SCHEMA, RunReport
+from repro.engine.runner import (
+    SweepResult,
+    execute_run,
+    run_abcast_spec,
+    run_consensus_spec,
+    run_sweep,
+    sweep_grid,
+)
+from repro.engine.spec import (
+    DEFAULT_SERVICE_TIME,
+    LAN,
+    LAN_CAPACITY,
+    LAN_DATAGRAM,
+    PAPER_LAN,
+    PAPER_THROUGHPUTS,
+    SPEC_VERSION,
+    AbcastRunSpec,
+    ClusterSpec,
+    ConsensusRunSpec,
+    spec_from_dict,
+)
+
+__all__ = [
+    "AbcastRunSpec",
+    "ClusterSpec",
+    "ConsensusRunSpec",
+    "spec_from_dict",
+    "SPEC_VERSION",
+    "PAPER_LAN",
+    "PAPER_THROUGHPUTS",
+    "LAN",
+    "LAN_DATAGRAM",
+    "LAN_CAPACITY",
+    "DEFAULT_SERVICE_TIME",
+    "RunReport",
+    "REPORT_SCHEMA",
+    "ResultCache",
+    "SweepResult",
+    "run_sweep",
+    "execute_run",
+    "run_abcast_spec",
+    "run_consensus_spec",
+    "sweep_grid",
+]

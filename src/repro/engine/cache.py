@@ -1,0 +1,58 @@
+"""Content-addressed on-disk result cache for engine runs.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` where ``key`` is the spec's sha256
+:meth:`~repro.engine.spec.AbcastRunSpec.cache_key`.  Entries are whole
+:class:`~repro.engine.report.RunReport` dicts, written atomically
+(temp file + rename) so a crashed run never leaves a half-written entry.
+A corrupt or schema-mismatched entry reads as a miss and is re-run, never
+trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Union
+
+from repro.engine.report import REPORT_SCHEMA, RunReport
+from repro.engine.spec import AbcastRunSpec
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Spec-keyed store of run reports under one directory."""
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = pathlib.Path(root).expanduser()
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, spec: AbcastRunSpec) -> RunReport | None:
+        """The cached report for ``spec``, or None on miss/corruption."""
+        path = self.path_for(spec.cache_key())
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(data, dict) or data.get("schema") != REPORT_SCHEMA:
+            return None
+        # Paranoia against hash collisions and hand-edited entries: the
+        # stored spec must describe the run we were asked for.
+        if data.get("spec") != spec.to_dict():
+            return None
+        try:
+            return RunReport.from_dict(data)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, report: RunReport) -> pathlib.Path:
+        """Persist a report; returns the entry path."""
+        path = self.path_for(report.key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(report.to_dict(), sort_keys=True))
+        os.replace(tmp, path)
+        return path

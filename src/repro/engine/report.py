@@ -1,0 +1,104 @@
+"""Structured result of one engine-executed run, JSON-serialisable.
+
+A :class:`RunReport` is everything the evaluation needs from a run without
+holding the simulator alive: the spec that produced it, window latencies
+and their summary, per-kind message counts and byte estimates from the
+:class:`~repro.sim.network.NetworkStats` counters, and per-kind trace
+counts from the :class:`~repro.sim.trace.Tracer`.  Reports round-trip
+through plain dicts (:meth:`to_dict` / :meth:`from_dict`), which is both
+the on-disk cache format and the ``sweep --json`` export format.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.engine.spec import AbcastRunSpec
+from repro.workload.metrics import LatencySummary
+
+__all__ = ["REPORT_SCHEMA", "RunReport"]
+
+#: Schema tag written into every serialised report.
+REPORT_SCHEMA = "repro.run-report.v1"
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Outcome of one atomic-broadcast run, keyed by its spec hash.
+
+    ``offered``/``delivered``/``latencies`` cover the measurement window
+    ``[spec.warmup, spec.duration]`` (latency is the paper's: shortest delay
+    between a-broadcast and first a-delivery).  ``network`` is the
+    :meth:`NetworkStats.snapshot` dict (message counts, per-kind counts,
+    byte estimates) over the whole run; ``trace_counts`` counts trace
+    records per kind.
+    """
+
+    spec: AbcastRunSpec
+    key: str
+    offered: int
+    delivered: int
+    latencies: tuple[float, ...]
+    summary: LatencySummary
+    network: dict
+    trace_counts: dict
+    sim_time: float
+
+    # ------------------------------------------------------------- shortcuts
+
+    @property
+    def protocol(self) -> str:
+        return self.spec.protocol
+
+    @property
+    def rate(self) -> float:
+        return self.spec.rate
+
+    @property
+    def seed(self) -> int:
+        return self.spec.seed
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return self.summary.mean * 1e3
+
+    @property
+    def loss_fraction(self) -> float:
+        if self.offered == 0:
+            return 0.0
+        return 1.0 - self.delivered / self.offered
+
+    # ----------------------------------------------------------- persistence
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": REPORT_SCHEMA,
+            "key": self.key,
+            "spec": self.spec.to_dict(),
+            "offered": self.offered,
+            "delivered": self.delivered,
+            "latencies": list(self.latencies),
+            # The empty-summary sentinel serialises as null, keeping the JSON
+            # strict (no NaN literals).
+            "summary": None if self.summary.is_empty else dataclasses.asdict(self.summary),
+            "network": self.network,
+            "trace_counts": self.trace_counts,
+            "sim_time": self.sim_time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunReport":
+        summary = data["summary"]
+        return cls(
+            spec=AbcastRunSpec.from_dict(data["spec"]),
+            key=data["key"],
+            offered=data["offered"],
+            delivered=data["delivered"],
+            latencies=tuple(data["latencies"]),
+            summary=LatencySummary.empty() if summary is None else LatencySummary(**summary),
+            network=data["network"],
+            trace_counts=data["trace_counts"],
+            sim_time=data["sim_time"],
+        )

@@ -1,0 +1,251 @@
+"""Parallel sweep executor: run spec grids over worker processes, cached.
+
+The simulator is deterministic and fully seed-keyed, so a grid of runs
+(protocol × rate × seed) is embarrassingly parallel: :func:`run_sweep` fans
+the cache misses out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+and stitches results back in spec order.  With a :class:`ResultCache`
+attached, re-running a sweep only executes changed cells — the Figure-2/3
+grids and the benchmark suite become incremental.
+
+:func:`run_abcast_spec` / :func:`run_consensus_spec` are the spec-driven
+entry points behind the polymorphic :func:`repro.harness.run_abcast` /
+``run_consensus`` (which accept a spec in place of a factory).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from repro.engine.cache import ResultCache
+from repro.engine.report import RunReport
+from repro.engine.spec import AbcastRunSpec, ClusterSpec, ConsensusRunSpec
+from repro.errors import ConfigurationError
+from repro.harness.registry import ABCAST, CONSENSUS, get_protocol
+from repro.sim.trace import Tracer
+from repro.workload.metrics import summarize
+
+__all__ = [
+    "SweepResult",
+    "run_sweep",
+    "execute_run",
+    "run_abcast_spec",
+    "run_consensus_spec",
+    "sweep_grid",
+    "window_latencies",
+]
+
+
+def run_abcast_spec(spec: AbcastRunSpec, tracer: Tracer | None = None):
+    """Execute one atomic-broadcast spec; returns an ``AbcastRunResult``.
+
+    This is the canonical path: it resolves the protocol through the
+    registry, generates the workload from the spec and drives the same
+    :func:`repro.harness.abcast_runner.run_abcast` machinery as the legacy
+    kwarg signature — same seed, same spec → identical results.
+    """
+    from repro.harness.abcast_runner import run_abcast
+
+    info = get_protocol(spec.protocol, kind=ABCAST)
+    cluster = spec.cluster
+    return run_abcast(
+        info.factory,
+        spec.n,
+        _build_schedules(spec),
+        seed=spec.seed,
+        delay=cluster.delay,
+        datagram_delay=cluster.datagram_delay,
+        datagram_loss=cluster.datagram_loss,
+        service_time=cluster.service_time,
+        crash_at=dict(spec.crash_at) or None,
+        initially_crashed=cluster.initially_crashed,
+        detection_delay=cluster.detection_delay,
+        horizon=spec.horizon,
+        check=spec.check,
+        require_all_delivered=spec.require_all_delivered,
+        max_events=spec.max_events,
+        capacity=cluster.capacity,
+        tracer=tracer,
+    )
+
+
+def run_consensus_spec(spec: ConsensusRunSpec, tracer: Tracer | None = None):
+    """Execute one consensus spec; returns a ``ConsensusRunResult``."""
+    from repro.harness.consensus_runner import run_consensus
+
+    info = get_protocol(spec.protocol, kind=CONSENSUS)
+    cluster = spec.cluster
+    return run_consensus(
+        info.factory,
+        {pid: value for pid, value in enumerate(spec.proposals)},
+        seed=spec.seed,
+        delay=cluster.delay,
+        crash_at=dict(spec.crash_at) or None,
+        initially_crashed=cluster.initially_crashed,
+        detection_delay=cluster.detection_delay,
+        propose_at=dict(spec.propose_at) or None,
+        horizon=spec.horizon,
+        check=spec.check,
+        require_all_alive_decide=spec.require_all_alive_decide,
+        service_time=cluster.service_time,
+        tracer=tracer,
+    )
+
+
+def _build_schedules(spec: AbcastRunSpec):
+    # Imported lazily: repro.workload's package __init__ pulls in the
+    # experiment module, which imports this package.
+    from repro.workload.generator import poisson_schedule, uniform_schedule
+
+    if spec.workload == "poisson":
+        return poisson_schedule(spec.n, spec.rate, spec.duration, seed=spec.seed)
+    return uniform_schedule(spec.n, spec.rate, spec.duration)
+
+
+def window_latencies(result, warmup: float, duration: float) -> tuple[int, list[float]]:
+    """(offered, latencies) over messages a-broadcast in ``[warmup, duration]``."""
+    window_ids = [
+        mid for mid, msg in result.broadcast.items() if warmup <= msg.sent_at <= duration
+    ]
+    latencies = [
+        lat for mid in window_ids if (lat := result.latency_of(mid)) is not None
+    ]
+    return len(window_ids), latencies
+
+
+def execute_run(spec: AbcastRunSpec) -> RunReport:
+    """Run one spec to completion and distil it into a :class:`RunReport`.
+
+    Top-level (picklable) so worker processes can execute it by reference.
+    """
+    tracer = Tracer()
+    result = run_abcast_spec(spec, tracer=tracer)
+    offered, latencies = window_latencies(result, spec.warmup, spec.duration)
+    return RunReport(
+        spec=spec,
+        key=spec.cache_key(),
+        offered=offered,
+        delivered=len(latencies),
+        latencies=tuple(latencies),
+        summary=summarize(latencies),
+        network=result.network_stats,
+        trace_counts=tracer.counts(),
+        sim_time=result.duration,
+    )
+
+
+@dataclass
+class SweepResult:
+    """Reports of one sweep, in spec order, plus cache accounting."""
+
+    reports: list[RunReport]
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def by_protocol(self) -> dict[str, list[RunReport]]:
+        out: dict[str, list[RunReport]] = {}
+        for report in self.reports:
+            out.setdefault(report.protocol, []).append(report)
+        return out
+
+
+CacheLike = Union[ResultCache, str, os.PathLike, None]
+
+
+def _as_cache(cache: CacheLike) -> ResultCache | None:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def run_sweep(
+    specs: Sequence[AbcastRunSpec],
+    jobs: int = 1,
+    cache: CacheLike = None,
+) -> SweepResult:
+    """Execute a grid of abcast specs, parallel across processes, cached.
+
+    ``jobs`` > 1 fans cache misses over that many worker processes (runs are
+    independent simulations, so results are bitwise identical to serial
+    execution).  ``cache`` — a directory path or :class:`ResultCache` —
+    serves unchanged cells from disk and persists fresh ones.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    store = _as_cache(cache)
+
+    reports: list[RunReport | None] = [None] * len(specs)
+    pending: list[tuple[int, AbcastRunSpec]] = []
+    hits = 0
+    for index, spec in enumerate(specs):
+        cached = store.get(spec) if store is not None else None
+        if cached is not None:
+            reports[index] = cached
+            hits += 1
+        else:
+            pending.append((index, spec))
+
+    if pending:
+        todo = [spec for _, spec in pending]
+        if jobs > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                fresh = list(pool.map(execute_run, todo))
+        else:
+            fresh = [execute_run(spec) for spec in todo]
+        for (index, _), report in zip(pending, fresh):
+            reports[index] = report
+            if store is not None:
+                store.put(report)
+
+    return SweepResult(reports=reports, cache_hits=hits, cache_misses=len(pending))
+
+
+def sweep_grid(
+    protocols: Sequence[str],
+    rates: Sequence[float],
+    duration: float,
+    n: int = 4,
+    seed: int = 0,
+    warmup: float = 0.0,
+    drain: float = 1.5,
+    repeats: int = 1,
+    cluster: ClusterSpec | None = None,
+    require_all_delivered: bool = False,
+    max_events: int | None = 4_000_000,
+) -> list[AbcastRunSpec]:
+    """Build the protocol × rate × repeat spec grid of a Figure-2/3 sweep.
+
+    Respects each protocol's registry ``default_n`` (Multi-Paxos runs at
+    n = 3 as in the paper) and the historical seed derivation
+    ``seed + rate_index + 1000 * repeat``, so grids reproduce the exact runs
+    the serial driver always did.
+    """
+    cluster = cluster if cluster is not None else ClusterSpec()
+    specs: list[AbcastRunSpec] = []
+    for name in protocols:
+        info = get_protocol(name, kind=ABCAST)
+        group = info.default_n or n
+        for index, rate in enumerate(rates):
+            for repeat in range(repeats):
+                specs.append(
+                    AbcastRunSpec(
+                        protocol=name,
+                        rate=rate,
+                        duration=duration,
+                        n=group,
+                        seed=seed + index + 1000 * repeat,
+                        warmup=warmup,
+                        drain=drain,
+                        cluster=cluster,
+                        require_all_delivered=require_all_delivered,
+                        max_events=max_events,
+                    )
+                )
+    return specs

@@ -1,0 +1,322 @@
+"""Frozen run-description dataclasses — the single way to describe a run.
+
+A *spec* fully determines a simulated run: protocol (by registry name),
+cluster shape, network model, workload and seed.  Because the simulator is
+deterministic, a spec is also a *content address* for its result:
+:meth:`cache_key` hashes the canonical JSON form, and the sweep engine
+(:mod:`repro.engine.runner`) uses that key to skip runs whose results are
+already on disk.
+
+The family:
+
+* :class:`ClusterSpec`   — network/fault model shared by both run kinds;
+* :class:`AbcastRunSpec` — one atomic-broadcast run under an open-loop
+  Poisson (or uniform) workload — one cell of a Figure-2/3 sweep;
+* :class:`ConsensusRunSpec` — one consensus instance (Table-1 style runs).
+
+This module also pins the paper's testbed calibration (the ``LAN*``
+presets previously owned by :mod:`repro.workload.experiment`, which still
+re-exports them).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.sim.network import (
+    ConstantDelay,
+    DelayModel,
+    ExponentialDelay,
+    LanDelay,
+    LinkCapacity,
+    LogNormalDelay,
+    UniformDelay,
+)
+
+__all__ = [
+    "SPEC_VERSION",
+    "ClusterSpec",
+    "AbcastRunSpec",
+    "ConsensusRunSpec",
+    "spec_from_dict",
+    "PAPER_LAN",
+    "PAPER_THROUGHPUTS",
+    "LAN",
+    "LAN_DATAGRAM",
+    "LAN_CAPACITY",
+    "DEFAULT_SERVICE_TIME",
+]
+
+#: Bumped whenever spec semantics or the report layout change, so stale
+#: cache entries from older code can never be mistaken for current results.
+SPEC_VERSION = 1
+
+#: The x axis of Figures 2 and 3.
+PAPER_THROUGHPUTS: tuple[int, ...] = (20, 50, 80, 100, 150, 200, 250, 300, 350, 400, 450, 500)
+
+#: One-way delay of the TCP path on the paper's testbed: kernel, JVM and
+#: switch traversal dominate on a 2006-era stack — δ ≈ 0.44 ms, mild jitter.
+LAN = LanDelay(base=400e-6, jitter_mean=40e-6, jitter_sigma=0.8)
+
+#: The WAB oracle runs on raw UDP: lower base latency than the TCP path but
+#: a much heavier jitter tail (no flow control; bursts hit socket buffers).
+#: The tail is what breaks spontaneous order once broadcasts overlap.
+LAN_DATAGRAM = LanDelay(base=300e-6, jitter_mean=150e-6, jitter_sigma=1.7)
+
+#: Per-port serialisation of the 100 Mb switch: a protocol message occupies
+#: a port for ~50 µs.  This is the load-dependent term that bends the
+#: latency curves upward and widens the reorder window as load rises.
+LAN_CAPACITY = LinkCapacity(frame_time=50e-6, mode="switched")
+
+#: CPU cost per handled event on the 2.8 GHz workstations.
+DEFAULT_SERVICE_TIME = 20e-6
+
+
+# --------------------------------------------------------- model serialisation
+
+_MODEL_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        ConstantDelay,
+        UniformDelay,
+        ExponentialDelay,
+        LogNormalDelay,
+        LanDelay,
+        LinkCapacity,
+    )
+}
+
+
+def _encode_model(model: Any) -> dict | None:
+    """Encode a delay/capacity model as ``{"type": ..., **fields}``."""
+    if model is None:
+        return None
+    name = type(model).__name__
+    if name not in _MODEL_TYPES:
+        raise ConfigurationError(
+            f"cannot serialise model {name!r}; specs accept: {sorted(_MODEL_TYPES)}"
+        )
+    return {"type": name, **dataclasses.asdict(model)}
+
+
+def _decode_model(data: dict | None) -> Any:
+    if data is None:
+        return None
+    fields = dict(data)
+    name = fields.pop("type")
+    cls = _MODEL_TYPES.get(name)
+    if cls is None:
+        raise ConfigurationError(f"unknown model type {name!r} in spec")
+    return cls(**fields)
+
+
+# ----------------------------------------------------------------------- specs
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Network and fault model of a simulated cluster (group size excluded —
+    that belongs to the run).  ``None`` delays mean the simulator defaults.
+
+    ``datagram_*`` and ``capacity`` only matter for runs whose protocols use
+    the datagram channel / a finite-bandwidth fabric; consensus runs on the
+    plain reliable network ignore them.
+    """
+
+    delay: DelayModel | None = None
+    datagram_delay: DelayModel | None = None
+    datagram_loss: float = 0.0
+    capacity: LinkCapacity | None = None
+    service_time: float = 0.0
+    detection_delay: float = 0.0
+    initially_crashed: tuple[int, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "delay": _encode_model(self.delay),
+            "datagram_delay": _encode_model(self.datagram_delay),
+            "datagram_loss": self.datagram_loss,
+            "capacity": _encode_model(self.capacity),
+            "service_time": self.service_time,
+            "detection_delay": self.detection_delay,
+            "initially_crashed": list(self.initially_crashed),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterSpec":
+        return cls(
+            delay=_decode_model(data["delay"]),
+            datagram_delay=_decode_model(data["datagram_delay"]),
+            datagram_loss=data["datagram_loss"],
+            capacity=_decode_model(data["capacity"]),
+            service_time=data["service_time"],
+            detection_delay=data["detection_delay"],
+            initially_crashed=tuple(data["initially_crashed"]),
+        )
+
+
+#: The paper's Figure-2/3 testbed: TCP + UDP LAN models, switched 100 Mb
+#: fabric, 20 µs/event CPUs.
+PAPER_LAN = ClusterSpec(
+    delay=LAN,
+    datagram_delay=LAN_DATAGRAM,
+    capacity=LAN_CAPACITY,
+    service_time=DEFAULT_SERVICE_TIME,
+)
+
+
+def _hash_payload(kind: str, body: dict) -> str:
+    canonical = json.dumps(
+        {"version": SPEC_VERSION, "kind": kind, **body},
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class AbcastRunSpec:
+    """One atomic-broadcast run: protocol × cluster × workload × seed.
+
+    The measurement window is ``[warmup, duration]``; the simulation horizon
+    is ``duration + drain`` so in-flight messages can finish.  Workload
+    payloads must stay JSON-representable for the spec to be hashable.
+    """
+
+    protocol: str
+    rate: float
+    duration: float
+    n: int = 4
+    seed: int = 0
+    warmup: float = 0.0
+    drain: float = 1.5
+    workload: str = "poisson"
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    crash_at: tuple[tuple[int, float], ...] = ()
+    check: bool = True
+    require_all_delivered: bool = True
+    max_events: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or self.duration <= 0:
+            raise ConfigurationError("rate and duration must be positive")
+        if self.workload not in ("poisson", "uniform"):
+            raise ConfigurationError(f"unknown workload {self.workload!r}")
+
+    @property
+    def horizon(self) -> float:
+        return self.duration + self.drain
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "abcast",
+            "protocol": self.protocol,
+            "rate": self.rate,
+            "duration": self.duration,
+            "n": self.n,
+            "seed": self.seed,
+            "warmup": self.warmup,
+            "drain": self.drain,
+            "workload": self.workload,
+            "cluster": self.cluster.to_dict(),
+            "crash_at": [list(item) for item in self.crash_at],
+            "check": self.check,
+            "require_all_delivered": self.require_all_delivered,
+            "max_events": self.max_events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AbcastRunSpec":
+        return cls(
+            protocol=data["protocol"],
+            rate=data["rate"],
+            duration=data["duration"],
+            n=data["n"],
+            seed=data["seed"],
+            warmup=data["warmup"],
+            drain=data["drain"],
+            workload=data["workload"],
+            cluster=ClusterSpec.from_dict(data["cluster"]),
+            crash_at=tuple((pid, at) for pid, at in data["crash_at"]),
+            check=data["check"],
+            require_all_delivered=data["require_all_delivered"],
+            max_events=data["max_events"],
+        )
+
+    def cache_key(self) -> str:
+        """Stable content address of this run's result."""
+        body = self.to_dict()
+        del body["kind"]
+        return _hash_payload("abcast", body)
+
+
+@dataclass(frozen=True)
+class ConsensusRunSpec:
+    """One consensus instance; process ``i`` proposes ``proposals[i]``."""
+
+    protocol: str
+    proposals: tuple[Any, ...]
+    seed: int = 0
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    crash_at: tuple[tuple[int, float], ...] = ()
+    propose_at: tuple[tuple[int, float], ...] = ()
+    horizon: float = 60.0
+    check: bool = True
+    require_all_alive_decide: bool = True
+
+    def __post_init__(self) -> None:
+        if len(self.proposals) < 2:
+            raise ConfigurationError("consensus needs at least two processes")
+
+    @property
+    def n(self) -> int:
+        return len(self.proposals)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "consensus",
+            "protocol": self.protocol,
+            "proposals": list(self.proposals),
+            "seed": self.seed,
+            "cluster": self.cluster.to_dict(),
+            "crash_at": [list(item) for item in self.crash_at],
+            "propose_at": [list(item) for item in self.propose_at],
+            "horizon": self.horizon,
+            "check": self.check,
+            "require_all_alive_decide": self.require_all_alive_decide,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConsensusRunSpec":
+        return cls(
+            protocol=data["protocol"],
+            proposals=tuple(data["proposals"]),
+            seed=data["seed"],
+            cluster=ClusterSpec.from_dict(data["cluster"]),
+            crash_at=tuple((pid, at) for pid, at in data["crash_at"]),
+            propose_at=tuple((pid, at) for pid, at in data["propose_at"]),
+            horizon=data["horizon"],
+            check=data["check"],
+            require_all_alive_decide=data["require_all_alive_decide"],
+        )
+
+    def cache_key(self) -> str:
+        body = self.to_dict()
+        del body["kind"]
+        return _hash_payload("consensus", body)
+
+
+def spec_from_dict(data: dict) -> "AbcastRunSpec | ConsensusRunSpec":
+    """Rebuild a spec from its JSON dict form (inverse of ``to_dict``)."""
+    kind = data.get("kind")
+    if kind == "abcast":
+        return AbcastRunSpec.from_dict(data)
+    if kind == "consensus":
+        return ConsensusRunSpec.from_dict(data)
+    raise ConfigurationError(f"unknown spec kind {kind!r}")

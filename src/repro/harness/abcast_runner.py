@@ -66,13 +66,13 @@ class AbcastHost(HostProcess):
         self._next_send += 1
         message = self.abcast.a_broadcast(payload)
         if self.tracer is not None:
-            self.tracer.emit(self.env.now(), self.env.pid, "a-broadcast", message.msg_id)
+            self.tracer.emit_broadcast(self.env.now(), self.env.pid, message.msg_id)
         self._arm_next_send()
 
     def _record_delivery(self, message: AppMessage) -> None:
         self.delivery_times[message.msg_id] = self.env.now()
         if self.tracer is not None:
-            self.tracer.emit(self.env.now(), self.env.pid, "a-deliver", message.msg_id)
+            self.tracer.emit_deliver(self.env.now(), self.env.pid, message.msg_id)
 
 
 @dataclass
@@ -115,9 +115,9 @@ class AbcastRunResult:
 
 
 def run_abcast(
-    make_module: Callable[[int, Environment, "OracleFailureDetector | None", AbcastHost], AbcastModule],
-    n: int,
-    schedules: Mapping[int, Sequence[tuple[float, Any]]],
+    make_module,
+    n: int | None = None,
+    schedules: Mapping[int, Sequence[tuple[float, Any]]] | None = None,
     seed: int = 0,
     delay=None,
     datagram_delay=None,
@@ -136,9 +136,26 @@ def run_abcast(
 ) -> AbcastRunResult:
     """Run one atomic-broadcast scenario on a fresh simulated cluster.
 
-    ``make_module(pid, env, oracle, host)`` builds the per-process module;
-    ``schedules`` maps pid -> [(send_time, payload), ...].
+    The canonical description of a run is an
+    :class:`repro.engine.spec.AbcastRunSpec`: ``run_abcast(spec)`` resolves
+    the protocol through the registry and generates the workload from the
+    spec.  The original kwarg signature is kept as a compatible shim:
+    ``make_module(pid, env, oracle, host)`` builds the per-process module
+    (a registry name string also works) and ``schedules`` maps
+    pid -> [(send_time, payload), ...].
     """
+    from repro.engine.spec import AbcastRunSpec  # local: engine sits above us
+
+    if isinstance(make_module, AbcastRunSpec):
+        from repro.engine.runner import run_abcast_spec
+
+        return run_abcast_spec(make_module, tracer=tracer)
+    if isinstance(make_module, str):
+        from repro.harness.registry import ABCAST, get_protocol
+
+        make_module = get_protocol(make_module, kind=ABCAST).factory
+    if n is None or schedules is None:
+        raise ConfigurationError("run_abcast needs n and schedules (or a RunSpec)")
     if n < 2:
         raise ConfigurationError("atomic broadcast needs at least two processes")
     pids = list(range(n))

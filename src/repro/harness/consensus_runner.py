@@ -74,11 +74,8 @@ class ConsensusHost(HostProcess):
         self.decided_at = self.env.now()
         if self.tracer is not None:
             record = self.consensus.decision
-            self.tracer.emit(
-                self.env.now(),
-                self.env.pid,
-                "decide",
-                {"value": value, "steps": record.steps, "via": record.via},
+            self.tracer.emit_decide(
+                self.env.now(), self.env.pid, value, record.steps, record.via
             )
 
 
@@ -112,8 +109,8 @@ class ConsensusRunResult:
 
 
 def run_consensus(
-    make_module: Callable[..., ConsensusModule],
-    proposals: Mapping[int, Any],
+    make_module,
+    proposals: Mapping[int, Any] | None = None,
     seed: int = 0,
     delay=None,
     crash_at: Mapping[int, float] | None = None,
@@ -129,12 +126,29 @@ def run_consensus(
 ) -> ConsensusRunResult:
     """Run one consensus instance on a fresh simulated cluster.
 
-    ``make_module(pid, env, oracle, host)`` builds the protocol module for
-    each process; ``oracle`` is the shared :class:`OracleFailureDetector`
-    (None when ``fd_factory`` supplies a message-based detector instead — in
-    that case the factory's module is attached under the host's FD scope and
-    the consensus factory can pull views off ``host.fd_module``).
+    The canonical description of a run is an
+    :class:`repro.engine.spec.ConsensusRunSpec`: ``run_consensus(spec)``
+    resolves the protocol through the registry.  The original kwarg
+    signature is kept as a compatible shim: ``make_module(pid, env, oracle,
+    host)`` builds the protocol module for each process (a registry name
+    string also works); ``oracle`` is the shared
+    :class:`OracleFailureDetector` (None when ``fd_factory`` supplies a
+    message-based detector instead — in that case the factory's module is
+    attached under the host's FD scope and the consensus factory can pull
+    views off ``host.fd_module``).
     """
+    from repro.engine.spec import ConsensusRunSpec  # local: engine sits above us
+
+    if isinstance(make_module, ConsensusRunSpec):
+        from repro.engine.runner import run_consensus_spec
+
+        return run_consensus_spec(make_module, tracer=tracer)
+    if isinstance(make_module, str):
+        from repro.harness.registry import CONSENSUS, get_protocol
+
+        make_module = get_protocol(make_module, kind=CONSENSUS).factory
+    if proposals is None:
+        raise ConfigurationError("run_consensus needs proposals (or a RunSpec)")
     pids = sorted(proposals)
     if len(pids) < 2:
         raise ConfigurationError("consensus needs at least two processes")

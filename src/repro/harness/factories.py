@@ -104,19 +104,18 @@ def ct_abcast_l(pid, env, oracle, host):
     return CtAbcast(env, lambda senv: LConsensus(senv, oracle.omega(pid)))
 
 
-CONSENSUS_FACTORIES = {
-    "l-consensus": l_consensus,
-    "p-consensus": p_consensus,
-    "paxos": paxos_consensus,
-    "chandra-toueg": chandra_toueg_consensus,
-    "fast-paxos": fast_paxos_consensus,
-    "brasileiro": brasileiro_consensus,
-}
+# The canonical name→factory mapping lives in repro.harness.registry; the
+# dicts below are derived views kept for the original import surface.  They
+# are materialised lazily (PEP 562) because the registry imports this module.
 
-ABCAST_FACTORIES = {
-    "cabcast-l": cabcast_l,
-    "cabcast-p": cabcast_p,
-    "wabcast": wabcast,
-    "multipaxos": multipaxos_abcast,
-    "ct-abcast": ct_abcast_l,
-}
+def __getattr__(name: str):
+    if name in ("CONSENSUS_FACTORIES", "ABCAST_FACTORIES"):
+        from repro.harness.registry import ABCAST, CONSENSUS, protocols_of_kind
+
+        kind = CONSENSUS if name == "CONSENSUS_FACTORIES" else ABCAST
+        mapping = {
+            key: info.factory for key, info in protocols_of_kind(kind).items()
+        }
+        globals()[name] = mapping
+        return mapping
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,153 @@
+"""Single protocol registry: string key → factory + metadata.
+
+Every entry point that names protocols by string — the CLI, the sweep
+engine (:mod:`repro.engine`), the benchmark suite — resolves them here, so
+the name→factory mapping exists exactly once.  The legacy
+``CONSENSUS_FACTORIES`` / ``ABCAST_FACTORIES`` dicts in
+:mod:`repro.harness.factories` are derived views of this registry.
+
+Metadata carried per protocol:
+
+* ``kind`` — :data:`CONSENSUS` or :data:`ABCAST`; the two namespaces share
+  one flat registry, so names must be globally unique.
+* ``default_n`` — the group size the paper evaluates the protocol at when
+  it differs from the experiment-wide default (Multi-Paxos runs at n = 3 in
+  Figure 3 while the one-step protocols run at n = 4).
+* ``description`` — one-line label for ``--help`` and reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+from repro.harness.factories import (
+    brasileiro_consensus,
+    cabcast_l,
+    cabcast_p,
+    chandra_toueg_consensus,
+    ct_abcast_l,
+    fast_paxos_consensus,
+    l_consensus,
+    multipaxos_abcast,
+    p_consensus,
+    paxos_consensus,
+    wabcast,
+)
+
+__all__ = [
+    "CONSENSUS",
+    "ABCAST",
+    "ProtocolInfo",
+    "PROTOCOLS",
+    "get_protocol",
+    "protocols_of_kind",
+    "protocol_names",
+    "name_of",
+]
+
+CONSENSUS = "consensus"
+ABCAST = "abcast"
+
+
+@dataclass(frozen=True)
+class ProtocolInfo:
+    """One registered protocol: its factory plus evaluation metadata."""
+
+    name: str
+    kind: str  # CONSENSUS or ABCAST
+    factory: Callable[..., Any] = field(repr=False)
+    default_n: int | None = None  # None → use the caller's group size
+    description: str = ""
+
+
+def _build() -> dict[str, ProtocolInfo]:
+    entries = [
+        # -------------------------------------------------------- consensus
+        ProtocolInfo(
+            "l-consensus", CONSENSUS, l_consensus,
+            description="L-Consensus on Ω (algorithm 1, the paper's contribution)",
+        ),
+        ProtocolInfo(
+            "p-consensus", CONSENSUS, p_consensus,
+            description="P-Consensus on ◇P (algorithm 2, the paper's contribution)",
+        ),
+        ProtocolInfo(
+            "paxos", CONSENSUS, paxos_consensus,
+            description="single-decree Paxos with a pre-promised initial leader",
+        ),
+        ProtocolInfo(
+            "chandra-toueg", CONSENSUS, chandra_toueg_consensus,
+            description="Chandra & Toueg rotating-coordinator consensus",
+        ),
+        ProtocolInfo(
+            "fast-paxos", CONSENSUS, fast_paxos_consensus,
+            description="Fast Paxos with e = f = (n-1)//3",
+        ),
+        ProtocolInfo(
+            "brasileiro", CONSENSUS, brasileiro_consensus,
+            description="Brasileiro one-step consensus over an underlying Paxos",
+        ),
+        # ----------------------------------------------------------- abcast
+        ProtocolInfo(
+            "cabcast-l", ABCAST, cabcast_l,
+            description="C-Abcast over L-Consensus (the paper's L-Consensus curve)",
+        ),
+        ProtocolInfo(
+            "cabcast-p", ABCAST, cabcast_p,
+            description="C-Abcast over P-Consensus (the paper's P-Consensus curve)",
+        ),
+        ProtocolInfo(
+            "wabcast", ABCAST, wabcast,
+            description="Pedone & Schiper WABCast (Figure-2 baseline)",
+        ),
+        ProtocolInfo(
+            "multipaxos", ABCAST, multipaxos_abcast,
+            default_n=3,
+            description="Multi-Paxos replicated log (Figure-3 baseline, n = 3)",
+        ),
+        ProtocolInfo(
+            "ct-abcast", ABCAST, ct_abcast_l,
+            description="consensus-sequence abcast (CT/MR style) over L-Consensus",
+        ),
+    ]
+    registry: dict[str, ProtocolInfo] = {}
+    for info in entries:
+        if info.name in registry:  # pragma: no cover - registry construction bug
+            raise ConfigurationError(f"duplicate protocol name {info.name!r}")
+        registry[info.name] = info
+    return registry
+
+
+PROTOCOLS: dict[str, ProtocolInfo] = _build()
+
+
+def get_protocol(name: str, kind: str | None = None) -> ProtocolInfo:
+    """Look up a protocol by name, optionally constrained to one ``kind``."""
+    info = PROTOCOLS.get(name)
+    if info is None or (kind is not None and info.kind != kind):
+        choices = ", ".join(sorted(protocol_names(kind)))
+        wanted = f"{kind} protocol" if kind else "protocol"
+        raise ConfigurationError(f"unknown {wanted} {name!r}; choices: {choices}")
+    return info
+
+
+def protocols_of_kind(kind: str) -> dict[str, ProtocolInfo]:
+    """All registered protocols of one kind, keyed by name."""
+    return {name: info for name, info in PROTOCOLS.items() if info.kind == kind}
+
+
+def protocol_names(kind: str | None = None) -> list[str]:
+    """Sorted protocol names, optionally restricted to one kind."""
+    return sorted(
+        name for name, info in PROTOCOLS.items() if kind is None or info.kind == kind
+    )
+
+
+def name_of(factory: Callable[..., Any]) -> str | None:
+    """Reverse lookup: registry name of a factory, or None if unregistered."""
+    for name, info in PROTOCOLS.items():
+        if info.factory is factory:
+            return name
+    return None

@@ -35,6 +35,7 @@ __all__ = [
     "LogNormalDelay",
     "LanDelay",
     "Envelope",
+    "HEADER_BYTES",
     "LinkCapacity",
     "NetworkStats",
     "Network",
@@ -196,20 +197,43 @@ class LinkCapacity:
             raise ConfigurationError(f"unknown capacity mode {self.mode!r}")
 
 
+#: Per-message fixed overhead (Ethernet + IP + TCP/UDP headers) assumed by
+#: the wire-size estimate below.
+HEADER_BYTES = 64
+
+
+def _approx_bytes(payload: Any) -> int:
+    """Deterministic wire-size estimate of a payload.
+
+    The paper reports message *counts*; for byte-level accounting we
+    approximate the serialised size as the header overhead plus the length
+    of the payload's repr — crude, but stable across runs and monotone in
+    the message's actual content, which is all the per-kind byte reports
+    need.
+    """
+    return HEADER_BYTES + len(repr(payload))
+
+
 class NetworkStats:
-    """Counts messages and payload classes traversing the network."""
+    """Counts messages, payload classes and estimated bytes on the network."""
 
     def __init__(self) -> None:
         self.sent = 0
         self.delivered = 0
         self.dropped = 0
+        self.bytes_sent = 0
         self.by_channel: Counter = Counter()
         self.by_kind: Counter = Counter()
+        self.by_kind_bytes: Counter = Counter()
 
     def record_sent(self, envelope: Envelope) -> None:
+        kind = _kind_of(envelope.payload)
+        size = _approx_bytes(envelope.payload)
         self.sent += 1
+        self.bytes_sent += size
         self.by_channel[envelope.channel] += 1
-        self.by_kind[_kind_of(envelope.payload)] += 1
+        self.by_kind[kind] += 1
+        self.by_kind_bytes[kind] += size
 
     def record_delivered(self) -> None:
         self.delivered += 1
@@ -222,8 +246,10 @@ class NetworkStats:
             "sent": self.sent,
             "delivered": self.delivered,
             "dropped": self.dropped,
+            "bytes_sent": self.bytes_sent,
             "by_channel": dict(self.by_channel),
             "by_kind": dict(self.by_kind),
+            "by_kind_bytes": dict(self.by_kind_bytes),
         }
 
 

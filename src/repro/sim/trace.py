@@ -9,11 +9,26 @@ and subscribers get synchronous callbacks.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import Counter, defaultdict
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
-__all__ = ["TraceRecord", "Tracer"]
+__all__ = ["KINDS", "TraceRecord", "Tracer"]
+
+
+class KINDS:
+    """Canonical trace-kind vocabulary.
+
+    Call sites should use these constants (or the typed ``emit_*`` helpers on
+    :class:`Tracer`) instead of retyping the strings; raw ``emit`` with any
+    kind keeps working for ad-hoc instrumentation.
+    """
+
+    A_BROADCAST = "a-broadcast"
+    A_DELIVER = "a-deliver"
+    DECIDE = "decide"
+
+    ALL = frozenset({A_BROADCAST, A_DELIVER, DECIDE})
 
 
 @dataclass(frozen=True)
@@ -42,6 +57,20 @@ class Tracer:
     def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
         self._subscribers.append(fn)
 
+    # ------------------------------------------------------------ typed emits
+
+    def emit_broadcast(self, time: float, pid: int, msg_id: Any) -> None:
+        """Record an a-broadcast of ``msg_id``."""
+        self.emit(time, pid, KINDS.A_BROADCAST, msg_id)
+
+    def emit_deliver(self, time: float, pid: int, msg_id: Any) -> None:
+        """Record an a-delivery of ``msg_id``."""
+        self.emit(time, pid, KINDS.A_DELIVER, msg_id)
+
+    def emit_decide(self, time: float, pid: int, value: Any, steps: int, via: str) -> None:
+        """Record a consensus decision with its step count and decision path."""
+        self.emit(time, pid, KINDS.DECIDE, {"value": value, "steps": steps, "via": via})
+
     # ----------------------------------------------------------------- queries
 
     def of_kind(self, kind: str) -> list[TraceRecord]:
@@ -62,6 +91,10 @@ class Tracer:
 
     def kinds(self) -> set[str]:
         return {r.kind for r in self.records}
+
+    def counts(self) -> dict[str, int]:
+        """Number of records per kind."""
+        return dict(Counter(r.kind for r in self.records))
 
     def filter(self, predicate: Callable[[TraceRecord], bool]) -> Iterable[TraceRecord]:
         return (r for r in self.records if predicate(r))

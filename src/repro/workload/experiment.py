@@ -7,6 +7,13 @@ throughput varied between 20 and 500 msg/s.  :func:`latency_vs_throughput`
 reproduces that protocol-agnostically: one simulated run per throughput
 point, Poisson open-loop workload, warmup excluded, mean over the
 steady-state window.
+
+Execution is delegated to :mod:`repro.engine` whenever the protocol factory
+is registry-known (pass ``jobs``/``cache`` to parallelise runs across
+processes and reuse results by spec hash); unregistered ad-hoc factories
+fall back to an in-process serial loop with identical semantics.  The
+``LAN*`` testbed presets live in :mod:`repro.engine.spec` and are
+re-exported here for compatibility.
 """
 
 from __future__ import annotations
@@ -14,9 +21,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.harness.abcast_runner import run_abcast
-from repro.sim.network import LanDelay, LinkCapacity
-from repro.workload.generator import poisson_schedule
+from repro.engine.spec import (  # noqa: F401 — re-exported presets
+    DEFAULT_SERVICE_TIME,
+    LAN,
+    LAN_CAPACITY,
+    LAN_DATAGRAM,
+    PAPER_THROUGHPUTS,
+    AbcastRunSpec,
+    ClusterSpec,
+)
 from repro.workload.metrics import LatencySummary, summarize
 
 __all__ = [
@@ -28,26 +41,6 @@ __all__ = [
     "LAN_CAPACITY",
     "DEFAULT_SERVICE_TIME",
 ]
-
-#: The x axis of Figures 2 and 3.
-PAPER_THROUGHPUTS: tuple[int, ...] = (20, 50, 80, 100, 150, 200, 250, 300, 350, 400, 450, 500)
-
-#: One-way delay of the TCP path on the paper's testbed: kernel, JVM and
-#: switch traversal dominate on a 2006-era stack — δ ≈ 0.44 ms, mild jitter.
-LAN = LanDelay(base=400e-6, jitter_mean=40e-6, jitter_sigma=0.8)
-
-#: The WAB oracle runs on raw UDP: lower base latency than the TCP path but
-#: a much heavier jitter tail (no flow control; bursts hit socket buffers).
-#: The tail is what breaks spontaneous order once broadcasts overlap.
-LAN_DATAGRAM = LanDelay(base=300e-6, jitter_mean=150e-6, jitter_sigma=1.7)
-
-#: Per-port serialisation of the 100 Mb switch: a protocol message occupies
-#: a port for ~50 µs.  This is the load-dependent term that bends the
-#: latency curves upward and widens the reorder window as load rises.
-LAN_CAPACITY = LinkCapacity(frame_time=50e-6, mode="switched")
-
-#: CPU cost per handled event on the 2.8 GHz workstations.
-DEFAULT_SERVICE_TIME = 20e-6
 
 
 @dataclass(frozen=True)
@@ -70,8 +63,13 @@ class SweepPoint:
         return 1.0 - self.delivered / self.offered
 
 
+def _run_seed(seed: int, index: int, repeat: int) -> int:
+    """Historical per-run seed derivation — kept bit-for-bit stable."""
+    return seed + index + 1000 * repeat
+
+
 def latency_vs_throughput(
-    make_module: Callable[..., Any],
+    make_module: Callable[..., Any] | str,
     n: int,
     throughputs: Sequence[float] = PAPER_THROUGHPUTS,
     duration: float = 4.0,
@@ -84,24 +82,98 @@ def latency_vs_throughput(
     capacity=LAN_CAPACITY,
     max_events: int | None = 4_000_000,
     repeats: int = 1,
+    jobs: int = 1,
+    cache=None,
 ) -> list[SweepPoint]:
     """Sweep aggregate throughput and measure mean a-deliver latency.
 
     ``make_module`` has the :func:`repro.harness.abcast_runner.run_abcast`
-    factory signature.  Runs are *not* required to deliver everything —
-    WABCast legitimately stalls under heavy collisions (the ``∞`` of
-    Table 1) — so each point also reports the delivered fraction.
+    factory signature, or is a protocol registry name.  Runs are *not*
+    required to deliver everything — WABCast legitimately stalls under
+    heavy collisions (the ``∞`` of Table 1) — so each point also reports
+    the delivered fraction.
 
     ``repeats`` > 1 runs each throughput point on that many independent
     seeds and pools the latency samples — tighter estimates for
-    proportional runtime.
+    proportional runtime.  ``jobs`` > 1 fans the runs out over worker
+    processes; ``cache`` (directory path) reuses results by spec hash.
+    Both require a registry-known protocol (results are identical either
+    way — the engine executes the very same runs).
     """
+    if isinstance(make_module, str):
+        name: str | None = make_module
+    else:
+        from repro.harness.registry import name_of
+
+        name = name_of(make_module)
+
+    if name is None:
+        return _serial_sweep(
+            make_module, n, throughputs, duration, warmup, drain, seed,
+            delay, datagram_delay, service_time, capacity, max_events, repeats,
+        )
+
+    from repro.engine.runner import run_sweep
+
+    cluster = ClusterSpec(
+        delay=delay,
+        datagram_delay=datagram_delay,
+        capacity=capacity,
+        service_time=service_time,
+    )
+    specs = [
+        AbcastRunSpec(
+            protocol=name,
+            rate=rate,
+            duration=duration,
+            n=n,
+            seed=_run_seed(seed, index, repeat),
+            warmup=warmup,
+            drain=drain,
+            cluster=cluster,
+            require_all_delivered=False,
+            max_events=max_events,
+        )
+        for index, rate in enumerate(throughputs)
+        for repeat in range(repeats)
+    ]
+    sweep = run_sweep(specs, jobs=jobs, cache=cache)
+
+    points: list[SweepPoint] = []
+    reports = iter(sweep.reports)
+    for rate in throughputs:
+        offered = 0
+        latencies: list[float] = []
+        for _ in range(repeats):
+            report = next(reports)
+            offered += report.offered
+            latencies.extend(report.latencies)
+        points.append(
+            SweepPoint(
+                throughput=rate,
+                offered=offered,
+                delivered=len(latencies),
+                summary=summarize(latencies),
+            )
+        )
+    return points
+
+
+def _serial_sweep(
+    make_module, n, throughputs, duration, warmup, drain, seed,
+    delay, datagram_delay, service_time, capacity, max_events, repeats,
+) -> list[SweepPoint]:
+    """In-process fallback for factories outside the protocol registry."""
+    from repro.engine.runner import window_latencies
+    from repro.harness.abcast_runner import run_abcast
+    from repro.workload.generator import poisson_schedule
+
     points: list[SweepPoint] = []
     for index, rate in enumerate(throughputs):
         latencies: list[float] = []
         offered = 0
         for repeat in range(repeats):
-            run_seed = seed + index + 1000 * repeat
+            run_seed = _run_seed(seed, index, repeat)
             schedules = poisson_schedule(n, rate, duration, seed=run_seed)
             result = run_abcast(
                 make_module,
@@ -117,18 +189,9 @@ def latency_vs_throughput(
                 require_all_delivered=False,
                 max_events=max_events,
             )
-            window = (warmup, duration)
-            window_ids = [
-                mid
-                for mid, msg in result.broadcast.items()
-                if window[0] <= msg.sent_at <= window[1]
-            ]
-            offered += len(window_ids)
-            latencies.extend(
-                lat
-                for mid in window_ids
-                if (lat := result.latency_of(mid)) is not None
-            )
+            run_offered, run_latencies = window_latencies(result, warmup, duration)
+            offered += run_offered
+            latencies.extend(run_latencies)
         points.append(
             SweepPoint(
                 throughput=rate,

@@ -12,7 +12,12 @@ __all__ = ["LatencySummary", "summarize"]
 
 @dataclass(frozen=True)
 class LatencySummary:
-    """Summary statistics over a sample of latencies (seconds)."""
+    """Summary statistics over a sample of latencies (seconds).
+
+    An empty sample is represented by the explicit sentinel
+    :meth:`LatencySummary.empty` — ``count == 0`` with NaN statistics — so
+    downstream code can test :attr:`is_empty` instead of propagating NaNs.
+    """
 
     count: int
     mean: float
@@ -22,9 +27,23 @@ class LatencySummary:
     minimum: float
     maximum: float
 
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        """The explicit no-samples sentinel."""
+        nan = math.nan
+        return cls(0, nan, nan, nan, nan, nan, nan)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.count == 0
+
     def scaled(self, factor: float) -> "LatencySummary":
         """Return the same summary with every statistic multiplied by ``factor``
-        (e.g. ``1e3`` to report in milliseconds)."""
+        (e.g. ``1e3`` to report in milliseconds).  Scaling the empty sentinel
+        returns the sentinel unchanged rather than manufacturing NaN·factor
+        values."""
+        if self.is_empty:
+            return self
         return LatencySummary(
             self.count,
             self.mean * factor,
@@ -37,9 +56,13 @@ class LatencySummary:
 
 
 def _percentile(ordered: Sequence[float], q: float) -> float:
-    """Linear-interpolation percentile of an already sorted sample."""
+    """Linear-interpolation percentile of an already sorted sample.
+
+    Raises ``ValueError`` on an empty sample — a NaN here would silently
+    poison every statistic derived from it.
+    """
     if not ordered:
-        return math.nan
+        raise ValueError("percentile of an empty sample is undefined")
     if len(ordered) == 1:
         return ordered[0]
     position = q * (len(ordered) - 1)
@@ -52,11 +75,11 @@ def _percentile(ordered: Sequence[float], q: float) -> float:
 
 
 def summarize(latencies: Iterable[float]) -> LatencySummary:
-    """Summarise a latency sample; an empty sample yields NaN statistics."""
+    """Summarise a latency sample; an empty sample yields the
+    :meth:`LatencySummary.empty` sentinel."""
     sample = sorted(latencies)
     if not sample:
-        nan = math.nan
-        return LatencySummary(0, nan, nan, nan, nan, nan, nan)
+        return LatencySummary.empty()
     return LatencySummary(
         count=len(sample),
         mean=statistics.fmean(sample),

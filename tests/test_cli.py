@@ -85,6 +85,93 @@ class TestCli:
     def test_sweep_rejects_unknown_protocol(self, capsys):
         assert main(["sweep", "--protocols", "nope", "--rates", "20"]) == 2
 
+    def test_sweep_json_export(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "out.json"
+        code = main(
+            [
+                "sweep",
+                "--protocols",
+                "cabcast-p",
+                "--rates",
+                "20,50",
+                "--duration",
+                "0.3",
+                "--no-chart",
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["schema"] == "repro.sweep.v1"
+        assert document["grid"]["protocols"] == ["cabcast-p"]
+        assert len(document["runs"]) == 2
+        for run in document["runs"]:
+            assert run["schema"] == "repro.run-report.v1"
+            assert run["spec"]["protocol"] == "cabcast-p"
+            assert run["delivered"] > 0
+            assert run["network"]["bytes_sent"] > 0
+
+    def test_sweep_cache_repeat_is_all_hits_and_identical(self, tmp_path, capsys):
+        args = [
+            "sweep",
+            "--protocols",
+            "cabcast-p",
+            "--rates",
+            "20,50",
+            "--duration",
+            "0.3",
+            "--no-chart",
+            "--cache",
+            str(tmp_path / "cache"),
+            "--json",
+            str(tmp_path / "out.json"),
+        ]
+        assert main(args) == 0
+        first_json = (tmp_path / "out.json").read_bytes()
+        first_err = capsys.readouterr().err
+        assert "2 misses" in first_err
+        assert main(args) == 0
+        second_err = capsys.readouterr().err
+        assert "2 hits, 0 misses (100% hit rate)" in second_err
+        assert (tmp_path / "out.json").read_bytes() == first_json
+
+    def test_sweep_parallel_jobs(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--protocols",
+                "cabcast-p",
+                "--rates",
+                "20,50",
+                "--duration",
+                "0.3",
+                "--jobs",
+                "2",
+                "--no-chart",
+            ]
+        )
+        assert code == 0
+        assert "msg/s" in capsys.readouterr().out
+
+    def test_sweep_multipaxos_uses_paper_group_size(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--protocols",
+                "multipaxos",
+                "--rates",
+                "20",
+                "--duration",
+                "0.3",
+                "--no-chart",
+            ]
+        )
+        assert code == 0
+        assert "(n=3)" in capsys.readouterr().err
+
     def test_table1_command(self, capsys):
         assert main(["table1", "--n", "4"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,213 @@
+"""Tests for the parallel experiment engine: specs, cache, sweep executor."""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    PAPER_LAN,
+    AbcastRunSpec,
+    ClusterSpec,
+    ConsensusRunSpec,
+    ResultCache,
+    RunReport,
+    execute_run,
+    run_sweep,
+    spec_from_dict,
+    sweep_grid,
+)
+from repro.engine.spec import LAN, LAN_CAPACITY, LAN_DATAGRAM
+from repro.errors import ConfigurationError
+from repro.harness.factories import ABCAST_FACTORIES, CONSENSUS_FACTORIES
+from repro.harness.registry import (
+    ABCAST,
+    CONSENSUS,
+    PROTOCOLS,
+    get_protocol,
+    name_of,
+    protocol_names,
+)
+
+
+def quick_spec(**overrides) -> AbcastRunSpec:
+    base = dict(
+        protocol="cabcast-p",
+        rate=40.0,
+        duration=0.3,
+        n=4,
+        seed=7,
+        warmup=0.1,
+        drain=0.5,
+        require_all_delivered=False,
+    )
+    base.update(overrides)
+    return AbcastRunSpec(**base)
+
+
+class TestRegistry:
+    def test_legacy_dicts_are_registry_views(self):
+        for name, factory in CONSENSUS_FACTORIES.items():
+            assert PROTOCOLS[name].factory is factory
+            assert PROTOCOLS[name].kind == CONSENSUS
+        for name, factory in ABCAST_FACTORIES.items():
+            assert PROTOCOLS[name].factory is factory
+            assert PROTOCOLS[name].kind == ABCAST
+
+    def test_names_are_complete(self):
+        assert protocol_names(CONSENSUS) == sorted(CONSENSUS_FACTORIES)
+        assert protocol_names(ABCAST) == sorted(ABCAST_FACTORIES)
+
+    def test_multipaxos_carries_paper_group_size(self):
+        assert get_protocol("multipaxos").default_n == 3
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(ConfigurationError, match="cabcast-p"):
+            get_protocol("nope", kind=ABCAST)
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_protocol("cabcast-p", kind=CONSENSUS)
+
+    def test_reverse_lookup(self):
+        assert name_of(ABCAST_FACTORIES["wabcast"]) == "wabcast"
+        assert name_of(lambda *a: None) is None
+
+
+class TestSpecs:
+    def test_cache_key_is_stable_and_seed_sensitive(self):
+        assert quick_spec().cache_key() == quick_spec().cache_key()
+        assert quick_spec().cache_key() != quick_spec(seed=8).cache_key()
+        assert quick_spec().cache_key() != quick_spec(rate=41.0).cache_key()
+
+    def test_round_trip_with_models(self):
+        spec = quick_spec(cluster=PAPER_LAN)
+        again = spec_from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert again == spec
+        assert again.cluster.delay == LAN
+        assert again.cluster.datagram_delay == LAN_DATAGRAM
+        assert again.cluster.capacity == LAN_CAPACITY
+
+    def test_consensus_spec_round_trip(self):
+        spec = ConsensusRunSpec(
+            protocol="p-consensus",
+            proposals=("a", "b", "c", "d"),
+            seed=3,
+            crash_at=((0, 0.001),),
+        )
+        assert spec_from_dict(spec.to_dict()) == spec
+        assert spec.n == 4
+        assert spec.cache_key() != ConsensusRunSpec(
+            protocol="l-consensus", proposals=("a", "b", "c", "d"), seed=3
+        ).cache_key()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            quick_spec(rate=0.0)
+        with pytest.raises(ConfigurationError):
+            quick_spec(workload="chaotic")
+        with pytest.raises(ConfigurationError):
+            ConsensusRunSpec(protocol="paxos", proposals=("a",))
+
+    def test_unknown_spec_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spec_from_dict({"kind": "mystery"})
+
+
+class TestExecuteRun:
+    def test_report_contents(self):
+        report = execute_run(quick_spec())
+        assert report.key == quick_spec().cache_key()
+        assert report.offered >= report.delivered > 0
+        assert len(report.latencies) == report.delivered
+        assert report.summary.count == report.delivered
+        assert report.trace_counts["a-broadcast"] > 0
+        assert report.trace_counts["a-deliver"] >= report.trace_counts["a-broadcast"]
+        assert report.network["bytes_sent"] > 0
+        assert set(report.network["by_kind_bytes"]) == set(report.network["by_kind"])
+        assert 0 <= report.loss_fraction <= 1
+
+    def test_report_json_round_trip(self):
+        report = execute_run(quick_spec())
+        data = json.loads(json.dumps(report.to_dict()))
+        assert RunReport.from_dict(data).to_dict() == report.to_dict()
+
+
+class TestResultCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = quick_spec()
+        assert cache.get(spec) is None
+        report = execute_run(spec)
+        path = cache.put(report)
+        assert path.exists()
+        assert cache.get(spec).to_dict() == report.to_dict()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = quick_spec()
+        cache.put(execute_run(spec))
+        cache.path_for(spec.cache_key()).write_text("{ not json")
+        assert cache.get(spec) is None
+
+    def test_foreign_schema_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = quick_spec()
+        cache.path_for(spec.cache_key()).parent.mkdir(parents=True)
+        cache.path_for(spec.cache_key()).write_text(json.dumps({"schema": "other"}))
+        assert cache.get(spec) is None
+
+
+class TestRunSweep:
+    def grid(self):
+        return sweep_grid(
+            ["cabcast-p", "wabcast"],
+            rates=[30, 60],
+            duration=0.3,
+            warmup=0.1,
+            drain=0.5,
+            seed=5,
+        )
+
+    def test_parallel_matches_serial_hash_for_hash(self):
+        specs = self.grid()
+        serial = run_sweep(specs, jobs=1)
+        parallel = run_sweep(specs, jobs=4)
+        assert [r.key for r in serial.reports] == [r.key for r in parallel.reports]
+        assert [r.to_dict() for r in serial.reports] == [
+            r.to_dict() for r in parallel.reports
+        ]
+
+    def test_second_invocation_served_entirely_from_cache(self, tmp_path):
+        specs = self.grid()
+        first = run_sweep(specs, jobs=2, cache=tmp_path)
+        assert (first.cache_hits, first.cache_misses) == (0, len(specs))
+        second = run_sweep(specs, jobs=2, cache=tmp_path)
+        assert (second.cache_hits, second.cache_misses) == (len(specs), 0)
+        assert second.hit_rate == 1.0
+        assert [r.to_dict() for r in first.reports] == [
+            r.to_dict() for r in second.reports
+        ]
+
+    def test_changed_cells_only_are_rerun(self, tmp_path):
+        specs = self.grid()
+        run_sweep(specs, cache=tmp_path)
+        extended = specs + [quick_spec(seed=99)]
+        partial = run_sweep(extended, cache=tmp_path)
+        assert (partial.cache_hits, partial.cache_misses) == (len(specs), 1)
+
+    def test_grid_respects_default_n_and_seed_rule(self):
+        specs = sweep_grid(
+            ["multipaxos"], rates=[20, 50], duration=0.5, seed=10, repeats=2
+        )
+        assert all(s.n == 3 for s in specs)
+        assert [s.seed for s in specs] == [10, 1010, 11, 1011]
+
+    def test_by_protocol_grouping(self):
+        sweep = run_sweep(self.grid())
+        grouped = sweep.by_protocol()
+        assert set(grouped) == {"cabcast-p", "wabcast"}
+        assert all(len(reports) == 2 for reports in grouped.values())
+
+    def test_invalid_jobs(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep([], jobs=0)

@@ -1,0 +1,141 @@
+"""Deprecation-wrapper coverage: the old kwarg signatures and the RunSpec
+paths must execute the exact same simulations — same seed → same decisions,
+byte-identical traces, identical network counters."""
+
+import pytest
+
+from repro.engine import AbcastRunSpec, ClusterSpec, ConsensusRunSpec
+from repro.errors import ConfigurationError
+from repro.harness.abcast_runner import run_abcast
+from repro.harness.consensus_runner import run_consensus
+from repro.harness.factories import ABCAST_FACTORIES, CONSENSUS_FACTORIES
+from repro.sim.trace import Tracer
+from repro.workload.experiment import latency_vs_throughput
+from repro.workload.generator import poisson_schedule
+
+
+class TestConsensusEquivalence:
+    @pytest.mark.parametrize("name", ["l-consensus", "p-consensus", "paxos"])
+    def test_spec_path_matches_legacy_kwargs(self, name):
+        spec = ConsensusRunSpec(
+            protocol=name, proposals=("a", "b", "c", "d"), seed=11
+        )
+        spec_tracer, legacy_tracer = Tracer(), Tracer()
+        via_spec = run_consensus(spec, tracer=spec_tracer)
+        via_kwargs = run_consensus(
+            CONSENSUS_FACTORIES[name],
+            {0: "a", 1: "b", 2: "c", 3: "d"},
+            seed=11,
+            tracer=legacy_tracer,
+        )
+        assert via_spec.decisions == via_kwargs.decisions
+        assert via_spec.records == via_kwargs.records
+        assert via_spec.network_stats == via_kwargs.network_stats
+        assert via_spec.duration == via_kwargs.duration
+        # Byte-identical traces: same records, same order, same payloads.
+        assert repr(spec_tracer.records) == repr(legacy_tracer.records)
+
+    def test_spec_path_with_crash(self):
+        spec = ConsensusRunSpec(
+            protocol="l-consensus",
+            proposals=("a", "b", "c", "d"),
+            seed=2,
+            crash_at=((0, 0.0001),),
+            cluster=ClusterSpec(detection_delay=0.002),
+        )
+        via_spec = run_consensus(spec)
+        via_kwargs = run_consensus(
+            CONSENSUS_FACTORIES["l-consensus"],
+            {0: "a", 1: "b", 2: "c", 3: "d"},
+            seed=2,
+            crash_at={0: 0.0001},
+            detection_delay=0.002,
+        )
+        assert via_spec.crashed == via_kwargs.crashed == [0]
+        assert via_spec.decisions == via_kwargs.decisions
+        assert via_spec.network_stats == via_kwargs.network_stats
+
+    def test_registry_name_in_place_of_factory(self):
+        by_name = run_consensus("p-consensus", {0: "v", 1: "v", 2: "v", 3: "v"}, seed=4)
+        by_factory = run_consensus(
+            CONSENSUS_FACTORIES["p-consensus"], {0: "v", 1: "v", 2: "v", 3: "v"}, seed=4
+        )
+        assert by_name.decisions == by_factory.decisions
+
+    def test_missing_proposals_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_consensus(CONSENSUS_FACTORIES["paxos"])
+
+
+class TestAbcastEquivalence:
+    def test_spec_path_matches_legacy_kwargs(self):
+        spec = AbcastRunSpec(
+            protocol="cabcast-p", rate=60.0, duration=0.3, n=4, seed=9, drain=0.7
+        )
+        spec_tracer, legacy_tracer = Tracer(), Tracer()
+        via_spec = run_abcast(spec, tracer=spec_tracer)
+        via_kwargs = run_abcast(
+            ABCAST_FACTORIES["cabcast-p"],
+            4,
+            poisson_schedule(4, 60.0, 0.3, seed=9),
+            seed=9,
+            horizon=1.0,
+            tracer=legacy_tracer,
+        )
+        assert via_spec.deliveries == via_kwargs.deliveries
+        assert via_spec.delivery_times == via_kwargs.delivery_times
+        assert sorted(via_spec.broadcast) == sorted(via_kwargs.broadcast)
+        assert via_spec.network_stats == via_kwargs.network_stats
+        assert repr(spec_tracer.records) == repr(legacy_tracer.records)
+
+    def test_registry_name_in_place_of_factory(self):
+        schedules = poisson_schedule(4, 40.0, 0.2, seed=3)
+        by_name = run_abcast("cabcast-l", 4, schedules, seed=3, horizon=1.0)
+        by_factory = run_abcast(
+            ABCAST_FACTORIES["cabcast-l"], 4, schedules, seed=3, horizon=1.0
+        )
+        assert by_name.deliveries == by_factory.deliveries
+
+    def test_missing_schedules_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_abcast(ABCAST_FACTORIES["cabcast-p"], 4)
+
+
+class TestSweepEquivalence:
+    def test_engine_path_matches_unregistered_fallback(self):
+        # A lambda wrapper is invisible to the registry, forcing the legacy
+        # serial loop; the engine path must produce identical SweepPoints.
+        factory = ABCAST_FACTORIES["cabcast-p"]
+        wrapped = lambda pid, env, oracle, host: factory(pid, env, oracle, host)  # noqa: E731
+        engine_points = latency_vs_throughput(
+            factory, 4, [40, 80], duration=0.4, warmup=0.1, drain=0.5, seed=6
+        )
+        legacy_points = latency_vs_throughput(
+            wrapped, 4, [40, 80], duration=0.4, warmup=0.1, drain=0.5, seed=6
+        )
+        assert engine_points == legacy_points
+
+    def test_protocol_name_string_accepted(self):
+        by_name = latency_vs_throughput(
+            "cabcast-p", 4, [40], duration=0.4, warmup=0.1, drain=0.5, seed=6
+        )
+        by_factory = latency_vs_throughput(
+            ABCAST_FACTORIES["cabcast-p"], 4, [40], duration=0.4, warmup=0.1,
+            drain=0.5, seed=6,
+        )
+        assert by_name == by_factory
+
+    def test_parallel_jobs_match_serial(self, tmp_path):
+        serial = latency_vs_throughput(
+            "cabcast-p", 4, [30, 60], duration=0.3, warmup=0.1, drain=0.5, seed=8,
+            jobs=1, cache=tmp_path / "cache",
+        )
+        parallel = latency_vs_throughput(
+            "cabcast-p", 4, [30, 60], duration=0.3, warmup=0.1, drain=0.5, seed=8,
+            jobs=4,
+        )
+        cached = latency_vs_throughput(
+            "cabcast-p", 4, [30, 60], duration=0.3, warmup=0.1, drain=0.5, seed=8,
+            jobs=1, cache=tmp_path / "cache",
+        )
+        assert serial == parallel == cached

@@ -1,6 +1,6 @@
 """Unit tests for the structured tracer."""
 
-from repro.sim.trace import TraceRecord, Tracer
+from repro.sim.trace import KINDS, TraceRecord, Tracer
 
 
 class TestTracer:
@@ -46,3 +46,28 @@ class TestTracer:
         tracer.emit(1.0, 0, "a")
         tracer.clear()
         assert tracer.records == []
+
+
+class TestKinds:
+    def test_constants_pin_the_wire_strings(self):
+        assert KINDS.A_BROADCAST == "a-broadcast"
+        assert KINDS.A_DELIVER == "a-deliver"
+        assert KINDS.DECIDE == "decide"
+        assert KINDS.ALL == {"a-broadcast", "a-deliver", "decide"}
+
+    def test_typed_emits_match_raw_emit(self):
+        typed, raw = Tracer(), Tracer()
+        typed.emit_broadcast(1.0, 0, (0, 1))
+        typed.emit_deliver(2.0, 1, (0, 1))
+        typed.emit_decide(3.0, 0, "v", 1, "round")
+        raw.emit(1.0, 0, "a-broadcast", (0, 1))
+        raw.emit(2.0, 1, "a-deliver", (0, 1))
+        raw.emit(3.0, 0, "decide", {"value": "v", "steps": 1, "via": "round"})
+        assert typed.records == raw.records
+
+    def test_counts(self):
+        tracer = Tracer()
+        tracer.emit_broadcast(1.0, 0, (0, 1))
+        tracer.emit_deliver(2.0, 0, (0, 1))
+        tracer.emit_deliver(2.1, 1, (0, 1))
+        assert tracer.counts() == {KINDS.A_BROADCAST: 1, KINDS.A_DELIVER: 2}

@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.workload.generator import burst_schedule, poisson_schedule, uniform_schedule
-from repro.workload.metrics import summarize
+from repro.workload.metrics import LatencySummary, _percentile, summarize
 
 
 class TestPoissonSchedule:
@@ -93,6 +93,20 @@ class TestSummarize:
         s = summarize([])
         assert s.count == 0
         assert math.isnan(s.mean)
+
+    def test_empty_sample_is_explicit_sentinel(self):
+        s = summarize([])
+        assert s.is_empty
+        assert s == LatencySummary.empty()
+        assert not summarize([1.0]).is_empty
+
+    def test_scaling_the_empty_sentinel_is_a_no_op(self):
+        s = summarize([]).scaled(1e3)
+        assert s.is_empty and s.count == 0
+
+    def test_percentile_of_empty_sample_raises(self):
+        with pytest.raises(ValueError, match="empty sample"):
+            _percentile([], 0.95)
 
     def test_single_sample(self):
         s = summarize([0.5])
