@@ -1,0 +1,202 @@
+"""Kernel hot-path microbenchmarks.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_kernel.py -q -s
+
+Each benchmark times one hot path of the simulator — event churn through the
+heap, timer cancel/compaction churn, network send/deliver throughput, trace
+recording and query cost, and one end-to-end Figure-2 sweep cell — and the
+session writes the measurements to ``benchmarks/BENCH_kernel.json``.  That
+file is checked in as the perf baseline of the PR that introduced it; re-run
+the suite and diff to see where a change moved the needle (absolute numbers
+are machine-specific — compare ratios, not values, across machines).
+
+``REPRO_BENCH_SMOKE=1`` shrinks every workload ~50× so CI can verify the
+benchmarks still run (and archive the artifact) without slowing the matrix.
+
+These are *benchmarks*, not correctness tests: they only assert that the
+measured path did the work it claims to time.  They are deliberately outside
+the tier-1 ``tests/`` tree (pytest ``testpaths``) so normal test runs skip
+them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine import PAPER_LAN, AbcastRunSpec
+from repro.engine.runner import execute_run
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.sim.trace import Tracer
+
+BENCH_SCHEMA = "repro.bench-kernel.v1"
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Workload sizes: full baseline vs CI smoke (~50x smaller).
+SCALE = 50 if not SMOKE else 1
+N_EVENTS = 4_000 * SCALE
+N_TIMERS = 2_000 * SCALE
+N_SENDS = 1_000 * SCALE
+N_RECORDS = 2_000 * SCALE
+CELL_RATE = 300.0
+CELL_DURATION = 1.0 if not SMOKE else 0.1
+
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_kernel.json"
+
+#: bench name -> {"ops": ..., "seconds": ..., "ops_per_sec": ...}
+RESULTS: dict[str, dict] = {}
+
+
+def _record(name: str, ops: int, seconds: float) -> None:
+    RESULTS[name] = {
+        "ops": ops,
+        "seconds": round(seconds, 6),
+        "ops_per_sec": round(ops / seconds) if seconds > 0 else None,
+    }
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Best (minimum) wall time of ``repeats`` runs — the standard noise
+    filter for microbenchmarks (the minimum is the least-interfered run)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_results():
+    yield
+    if not RESULTS:  # e.g. a single deselected test — nothing to write
+        return
+    document = {
+        "schema": BENCH_SCHEMA,
+        "mode": "smoke" if SMOKE else "full",
+        "python": ".".join(str(part) for part in sys.version_info[:3]),
+        "benches": {name: RESULTS[name] for name in sorted(RESULTS)},
+    }
+    OUT_PATH.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"\n[bench] wrote {OUT_PATH}")
+
+
+def test_bench_event_churn():
+    """Raw heap throughput: fire-and-forget schedule + drain, no payloads."""
+    def run_once():
+        sim = Simulator(seed=0)
+        schedule = sim.schedule_call_at
+        counter = [0]
+
+        def tick(box=counter):
+            box[0] += 1
+
+        for i in range(N_EVENTS):
+            schedule(i * 1e-6, tick, ())
+        sim.run()
+        assert counter[0] == N_EVENTS
+
+    seconds = _best_of(3, run_once)
+    _record("event_churn", N_EVENTS, seconds)
+
+
+def test_bench_timer_cancel_churn():
+    """Cancellation-heavy load: schedule timers, cancel 75%, drain the rest.
+
+    Exercises the lazy-deletion table and heap compaction — the seed kernel
+    paid O(n) per cancel here.
+    """
+    def run_once():
+        sim = Simulator(seed=0)
+        fired = [0]
+
+        def tick(box=fired):
+            box[0] += 1
+
+        events = [sim.schedule(1.0 + i * 1e-6, tick) for i in range(N_TIMERS)]
+        for index, event in enumerate(events):
+            if index % 4:  # cancel 3 of every 4
+                event.cancel()
+        sim.run()
+        assert fired[0] == (N_TIMERS + 3) // 4
+
+    seconds = _best_of(3, run_once)
+    _record("timer_cancel_churn", N_TIMERS, seconds)
+
+
+def test_bench_send_deliver_throughput():
+    """Network fabric cost: send N messages through delay model + stats.
+
+    Covers the inlined send path, the memoized byte accounting and the
+    delivery push — everything between ``env.send`` and ``node.deliver``.
+    """
+    class Sink:
+        def __init__(self):
+            self.received = 0
+
+        def deliver(self, envelope):
+            self.received += 1
+
+    def run_once():
+        sim = Simulator(seed=0)
+        network = Network(sim)
+        sinks = {pid: Sink() for pid in range(4)}
+        for pid, sink in sinks.items():
+            network.register(pid, sink)
+        payload = ("bench-payload", 12345)
+        send = network.send
+        for i in range(N_SENDS):
+            send(i % 4, (i + 1) % 4, payload)
+        sim.run()
+        assert sum(sink.received for sink in sinks.values()) == N_SENDS
+
+    seconds = _best_of(3, run_once)
+    _record("send_deliver_throughput", N_SENDS, seconds)
+
+
+def test_bench_trace_record_and_query():
+    """Tracer cost: emit N records, then the common queries.
+
+    The incremental per-kind index makes ``of_kind``/``counts`` O(result);
+    this bench would regress sharply if they went back to O(all records).
+    """
+    def run_once():
+        tracer = Tracer()
+        emit = tracer.emit
+        for i in range(N_RECORDS):
+            emit(i * 1e-6, i % 4, "send" if i % 3 else "deliver", i)
+        for _ in range(20):
+            sends = tracer.of_kind("send")
+            counts = tracer.counts()
+        assert counts["send"] == len(sends)
+
+    seconds = _best_of(3, run_once)
+    _record("trace_record_query", N_RECORDS, seconds)
+
+
+def test_bench_figure2_cell():
+    """End-to-end: one Figure-2 sweep cell (cabcast-p on the paper LAN)."""
+    spec = AbcastRunSpec(
+        protocol="cabcast-p",
+        rate=CELL_RATE,
+        duration=CELL_DURATION,
+        n=4,
+        seed=0,
+        warmup=min(0.5, CELL_DURATION * 0.2),
+        cluster=PAPER_LAN,
+    )
+    start = time.perf_counter()
+    report = execute_run(spec)
+    seconds = time.perf_counter() - start
+    assert report.delivered > 0
+    events = report.trace_counts.get("a-deliver", 0) + report.network["sent"]
+    _record("figure2_cell", events, seconds)
+    RESULTS["figure2_cell"]["sim_time"] = report.sim_time

@@ -25,101 +25,132 @@ Quickstart::
 
     result = run_consensus(make, {0: "a", 1: "b", 2: "c", 3: "d"})
     assert len(set(result.decisions.values())) == 1
+
+The package namespace is lazy (PEP 562): ``from repro import LConsensus``
+imports only the subtree that defines it.  ``python -m repro <cmd>`` start-up
+— part of every cold experiment run — therefore pays for the modules the
+command actually uses rather than the whole distribution.
 """
 
-from repro.core import (
-    ConsensusModule,
-    Decide,
-    DecisionRecord,
-    LConsensus,
-    PConsensus,
-)
-from repro.core.abcast_base import AbcastModule, AppMessage
-from repro.core.cabcast import CAbcast
-from repro.errors import (
-    AgreementViolation,
-    ConfigurationError,
-    IntegrityViolation,
-    ProtocolViolation,
-    ReproError,
-    SimulationError,
-    TerminationFailure,
-    TotalOrderViolation,
-    ValidityViolation,
-)
-from repro.fd import (
-    HeartbeatSuspector,
-    OmegaView,
-    OracleFailureDetector,
-    SuspectView,
-)
-from repro.engine import (
-    AbcastRunSpec,
-    ClusterSpec,
-    ConsensusRunSpec,
-    RunReport,
-    run_sweep,
-    sweep_grid,
-)
-from repro.harness import run_consensus
-from repro.harness.abcast_runner import run_abcast
-from repro.oracles import WabOracle
-from repro.protocols import (
-    BrasileiroConsensus,
-    MultiPaxosAbcast,
-    PaxosConsensus,
-    WabCast,
-)
-from repro.sim import Cluster, Environment, Process, Simulator
-from repro.workload import latency_vs_throughput
+from typing import TYPE_CHECKING, Any
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "__version__",
+#: Re-export map: public name -> defining module.  Resolved on first
+#: attribute access, then cached in the package namespace.
+_EXPORTS = {
     # core
-    "ConsensusModule",
-    "Decide",
-    "DecisionRecord",
-    "LConsensus",
-    "PConsensus",
-    "CAbcast",
-    "AbcastModule",
-    "AppMessage",
+    "ConsensusModule": "repro.core",
+    "Decide": "repro.core",
+    "DecisionRecord": "repro.core",
+    "LConsensus": "repro.core",
+    "PConsensus": "repro.core",
+    "CAbcast": "repro.core.cabcast",
+    "AbcastModule": "repro.core.abcast_base",
+    "AppMessage": "repro.core.abcast_base",
     # baselines
-    "BrasileiroConsensus",
-    "MultiPaxosAbcast",
-    "PaxosConsensus",
-    "WabCast",
+    "BrasileiroConsensus": "repro.protocols",
+    "MultiPaxosAbcast": "repro.protocols",
+    "PaxosConsensus": "repro.protocols",
+    "WabCast": "repro.protocols",
     # substrates
-    "Cluster",
-    "Environment",
-    "Process",
-    "Simulator",
-    "OmegaView",
-    "SuspectView",
-    "OracleFailureDetector",
-    "HeartbeatSuspector",
-    "WabOracle",
+    "Cluster": "repro.sim",
+    "Environment": "repro.sim",
+    "Process": "repro.sim",
+    "Simulator": "repro.sim",
+    "OmegaView": "repro.fd",
+    "SuspectView": "repro.fd",
+    "OracleFailureDetector": "repro.fd",
+    "HeartbeatSuspector": "repro.fd",
+    "WabOracle": "repro.oracles",
     # harness
-    "run_consensus",
-    "run_abcast",
-    "latency_vs_throughput",
+    "run_consensus": "repro.harness",
+    "run_abcast": "repro.harness.abcast_runner",
+    "latency_vs_throughput": "repro.workload",
+    # observability
+    "PerfReport": "repro.perf",
+    "profile_call": "repro.perf",
     # engine
-    "AbcastRunSpec",
-    "ClusterSpec",
-    "ConsensusRunSpec",
-    "RunReport",
-    "run_sweep",
-    "sweep_grid",
+    "AbcastRunSpec": "repro.engine",
+    "ClusterSpec": "repro.engine",
+    "ConsensusRunSpec": "repro.engine",
+    "RunReport": "repro.engine",
+    "run_sweep": "repro.engine",
+    "sweep_grid": "repro.engine",
     # errors
-    "ReproError",
-    "ConfigurationError",
-    "SimulationError",
-    "ProtocolViolation",
-    "AgreementViolation",
-    "ValidityViolation",
-    "IntegrityViolation",
-    "TotalOrderViolation",
-    "TerminationFailure",
-]
+    "ReproError": "repro.errors",
+    "ConfigurationError": "repro.errors",
+    "SimulationError": "repro.errors",
+    "ProtocolViolation": "repro.errors",
+    "AgreementViolation": "repro.errors",
+    "ValidityViolation": "repro.errors",
+    "IntegrityViolation": "repro.errors",
+    "TotalOrderViolation": "repro.errors",
+    "TerminationFailure": "repro.errors",
+}
+
+__all__ = ["__version__", *_EXPORTS]
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    value = getattr(import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)
+
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.core import (
+        ConsensusModule,
+        Decide,
+        DecisionRecord,
+        LConsensus,
+        PConsensus,
+    )
+    from repro.core.abcast_base import AbcastModule, AppMessage
+    from repro.core.cabcast import CAbcast
+    from repro.engine import (
+        AbcastRunSpec,
+        ClusterSpec,
+        ConsensusRunSpec,
+        RunReport,
+        run_sweep,
+        sweep_grid,
+    )
+    from repro.errors import (
+        AgreementViolation,
+        ConfigurationError,
+        IntegrityViolation,
+        ProtocolViolation,
+        ReproError,
+        SimulationError,
+        TerminationFailure,
+        TotalOrderViolation,
+        ValidityViolation,
+    )
+    from repro.fd import (
+        HeartbeatSuspector,
+        OmegaView,
+        OracleFailureDetector,
+        SuspectView,
+    )
+    from repro.harness import run_consensus
+    from repro.harness.abcast_runner import run_abcast
+    from repro.oracles import WabOracle
+    from repro.perf import PerfReport, profile_call
+    from repro.protocols import (
+        BrasileiroConsensus,
+        MultiPaxosAbcast,
+        PaxosConsensus,
+        WabCast,
+    )
+    from repro.sim import Cluster, Environment, Process, Simulator
+    from repro.workload import latency_vs_throughput

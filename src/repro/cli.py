@@ -8,6 +8,9 @@
   parallel engine: ``--jobs N`` fans runs over worker processes,
   ``--cache DIR`` reuses results by spec hash, ``--json OUT`` exports the
   structured reports;
+* ``profile``   — one spec run with :mod:`repro.perf` observability:
+  per-component event counts, events/sec, virtual-seconds per wall-second,
+  optionally a cProfile hot-function table (``--cprofile``);
 * ``table1``    — the analytical Table 1 for a given group size;
 * ``theorem1``  — the executable Theorem-1 impossibility certificate.
 
@@ -111,6 +114,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the structured run reports to FILE",
     )
     p_sweep.add_argument("--no-chart", action="store_true")
+
+    p_prof = sub.add_parser(
+        "profile", help="run one spec with perf observability (events/sec etc.)"
+    )
+    p_prof.add_argument(
+        "--protocol", choices=protocol_names(ABCAST), default="cabcast-p"
+    )
+    p_prof.add_argument("--n", type=int, default=4)
+    p_prof.add_argument("--rate", type=float, default=300.0, help="aggregate msg/s")
+    p_prof.add_argument("--duration", type=float, default=1.5)
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument(
+        "--cprofile",
+        nargs="?",
+        const=20,
+        default=None,
+        type=int,
+        metavar="TOP",
+        help="also run under cProfile; show the TOP hottest functions (default 20)",
+    )
+    p_prof.add_argument(
+        "--json",
+        dest="json_out",
+        default=None,
+        metavar="FILE",
+        help="write the perf section (repro.perf.v1) to FILE",
+    )
 
     p_t1 = sub.add_parser("table1", help="print the analytical Table 1")
     p_t1.add_argument("--n", type=int, default=4)
@@ -255,6 +285,51 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.engine.runner import execute_run
+    from repro.perf import format_perf, profile_call
+
+    spec = AbcastRunSpec(
+        protocol=args.protocol,
+        rate=args.rate,
+        duration=args.duration,
+        n=args.n,
+        seed=args.seed,
+        warmup=min(0.5, args.duration * 0.2),
+        cluster=PAPER_LAN,
+    )
+    if args.cprofile is not None:
+        report, profile_lines = profile_call(
+            execute_run, spec, collect_perf=True, top=args.cprofile
+        )
+    else:
+        report, profile_lines = execute_run(spec, collect_perf=True), None
+    perf = dict(report.perf)
+    if profile_lines is not None:
+        perf["profile"] = list(profile_lines)
+
+    print(
+        f"protocol : {args.protocol} (n={args.n}, {args.rate:.0f} msg/s, "
+        f"{args.duration:g} s, seed {args.seed})"
+    )
+    print(format_perf(perf))
+    print(
+        f"run      : {report.delivered}/{report.offered} window messages "
+        f"delivered, mean latency {report.mean_latency_ms:.3f} ms"
+    )
+    if profile_lines is not None:
+        print()
+        print("cProfile (use for ratios; tracing inflates wall time):")
+        for line in profile_lines:
+            print(f"  {line}")
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(perf, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote    : {args.json_out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     print(format_table1(args.n))
     return 0
@@ -273,6 +348,7 @@ _COMMANDS = {
     "consensus": _cmd_consensus,
     "abcast": _cmd_abcast,
     "sweep": _cmd_sweep,
+    "profile": _cmd_profile,
     "table1": _cmd_table1,
     "theorem1": _cmd_theorem1,
 }

@@ -23,7 +23,7 @@ from repro.sim.process import Environment
 __all__ = ["AppMessage", "AbcastModule", "deterministic_batch_order"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AppMessage:
     """An application payload wrapped for atomic broadcast.
 

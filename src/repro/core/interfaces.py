@@ -26,7 +26,7 @@ from repro.sim.process import Environment
 __all__ = ["Decide", "ConsensusModule", "DecisionRecord"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Decide:
     """Decision broadcast of task T2; ``round`` is carried for metrics only."""
 
@@ -111,9 +111,14 @@ class ConsensusModule(abc.ABC):
             return
         self.decision = DecisionRecord(value, steps, "round", self.env.now())
         if self.announce_decide:
-            for dst in self.env.peers:
-                if dst != self.env.pid:
-                    self.env.send(dst, Decide(value, steps))
+            env = self.env
+            pid = env.pid
+            # One shared (immutable) DECIDE for all peers: byte accounting
+            # then pays a single repr instead of n - 1.
+            decide = Decide(value, steps)
+            for dst in env.peers:
+                if dst != pid:
+                    env.send(dst, decide)
         self._deliver_decision(value)
 
     def _on_decide_message(self, src: int, msg: Decide) -> None:
@@ -122,9 +127,12 @@ class ConsensusModule(abc.ABC):
             return
         self.decision = DecisionRecord(msg.value, msg.round, "forward", self.env.now())
         if self.announce_decide:
-            for dst in self.env.peers:
-                if dst != self.env.pid:
-                    self.env.send(dst, Decide(msg.value, msg.round))
+            env = self.env
+            pid = env.pid
+            decide = Decide(msg.value, msg.round)
+            for dst in env.peers:
+                if dst != pid:
+                    env.send(dst, decide)
         self._deliver_decision(msg.value)
 
     def _deliver_decision(self, value: Any) -> None:

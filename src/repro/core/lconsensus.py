@@ -37,7 +37,7 @@ from repro.sim.process import Environment
 __all__ = ["LProp", "LConsensus"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LProp:
     """Round proposal: ``(r_i, est_i, ld)`` of algorithm 1."""
 

@@ -42,7 +42,7 @@ from repro.sim.process import Environment
 __all__ = ["PProp", "PConsensus"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PProp:
     """Round proposal: ``(r_i, est_i)`` of algorithm 2."""
 

@@ -17,6 +17,11 @@ from typing import Any, Hashable, Iterable
 __all__ = ["canonical_key", "majority_value", "value_with_count_at_least"]
 
 
+#: Per-dataclass-type field-name cache: ``dataclasses.fields`` rebuilds its
+#: tuple on every call and canonical_key sits on protocol tie-break paths.
+_FIELD_NAMES: dict[type, tuple[str, ...]] = {}
+
+
 def canonical_key(value: Any) -> str:
     """A deterministic, hash-randomisation-proof ordering key for a value."""
     if isinstance(value, (frozenset, set)):
@@ -27,11 +32,14 @@ def canonical_key(value: Any) -> str:
     if isinstance(value, list):
         return "[" + ",".join(canonical_key(v) for v in value) + "]"
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        fields = (
-            f"{f.name}={canonical_key(getattr(value, f.name))}"
-            for f in dataclasses.fields(value)
-        )
-        return type(value).__name__ + "<" + ",".join(fields) + ">"
+        tp = type(value)
+        names = _FIELD_NAMES.get(tp)
+        if names is None:
+            _FIELD_NAMES[tp] = names = tuple(
+                f.name for f in dataclasses.fields(value)
+            )
+        fields = (f"{name}={canonical_key(getattr(value, name))}" for name in names)
+        return tp.__name__ + "<" + ",".join(fields) + ">"
     return f"{type(value).__name__}:{value!r}"
 
 
@@ -46,11 +54,17 @@ def value_with_count_at_least(
     makes the same choice.
     """
     counts = Counter(values)
-    eligible = [(count, canonical_key(v), v) for v, count in counts.items() if count >= threshold]
+    eligible = [(count, v) for v, count in counts.items() if count >= threshold]
     if not eligible:
         return None
-    eligible.sort(key=lambda item: (-item[0], item[1]))
-    return eligible[0][2]
+    best_count = max(count for count, _ in eligible)
+    best = [v for count, v in eligible if count == best_count]
+    if len(best) == 1:
+        # Common case: a unique winner needs no tie-break, so the (recursive,
+        # repr-heavy) canonical_key is computed only for genuine ties.
+        return best[0]
+    best.sort(key=canonical_key)
+    return best[0]
 
 
 def majority_value(values: Iterable[Hashable]) -> Hashable | None:

@@ -45,6 +45,10 @@ class RunReport:
     network: dict
     trace_counts: dict
     sim_time: float
+    #: Optional :mod:`repro.perf` section (``PerfReport.to_dict``), attached
+    #: only when the run was executed with ``collect_perf=True``.  Omitted
+    #: from :meth:`to_dict` when absent so default sweep JSON is unchanged.
+    perf: dict | None = None
 
     # ------------------------------------------------------------- shortcuts
 
@@ -73,7 +77,7 @@ class RunReport:
     # ----------------------------------------------------------- persistence
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "schema": REPORT_SCHEMA,
             "key": self.key,
             "spec": self.spec.to_dict(),
@@ -87,6 +91,9 @@ class RunReport:
             "trace_counts": self.trace_counts,
             "sim_time": self.sim_time,
         }
+        if self.perf is not None:
+            data["perf"] = self.perf
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunReport":
@@ -101,4 +108,5 @@ class RunReport:
             network=data["network"],
             trace_counts=data["trace_counts"],
             sim_time=data["sim_time"],
+            perf=data.get("perf"),
         )

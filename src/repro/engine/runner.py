@@ -15,7 +15,6 @@ entry points behind the polymorphic :func:`repro.harness.run_abcast` /
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence, Union
 
@@ -115,13 +114,33 @@ def window_latencies(result, warmup: float, duration: float) -> tuple[int, list[
     return len(window_ids), latencies
 
 
-def execute_run(spec: AbcastRunSpec) -> RunReport:
+def execute_run(spec: AbcastRunSpec, collect_perf: bool = False) -> RunReport:
     """Run one spec to completion and distil it into a :class:`RunReport`.
 
     Top-level (picklable) so worker processes can execute it by reference.
+    ``collect_perf`` additionally times the run against the wall clock and
+    attaches a :mod:`repro.perf` section (``report.perf``); the default path
+    never reads the clock, so normal sweeps are unaffected.
     """
     tracer = Tracer()
-    result = run_abcast_spec(spec, tracer=tracer)
+    perf = None
+    if collect_perf:
+        from time import perf_counter
+
+        from repro.perf import collect
+
+        wall_start = perf_counter()
+        result = run_abcast_spec(spec, tracer=tracer)
+        wall_seconds = perf_counter() - wall_start
+        perf = collect(
+            result.sim,
+            wall_seconds=wall_seconds,
+            network_stats=result.network_stats,
+            nodes=result.nodes,
+            trace_counts=tracer.counts(),
+        ).to_dict()
+    else:
+        result = run_abcast_spec(spec, tracer=tracer)
     offered, latencies = window_latencies(result, spec.warmup, spec.duration)
     return RunReport(
         spec=spec,
@@ -133,6 +152,7 @@ def execute_run(spec: AbcastRunSpec) -> RunReport:
         network=result.network_stats,
         trace_counts=tracer.counts(),
         sim_time=result.duration,
+        perf=perf,
     )
 
 
@@ -195,6 +215,10 @@ def run_sweep(
     if pending:
         todo = [spec for _, spec in pending]
         if jobs > 1 and len(pending) > 1:
+            # Imported lazily: the pool (and its fork machinery) is only
+            # needed for parallel runs, and single-job CLI start-up is hot.
+            from concurrent.futures import ProcessPoolExecutor
+
             with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
                 fresh = list(pool.map(execute_run, todo))
         else:

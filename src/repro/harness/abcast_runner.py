@@ -87,6 +87,7 @@ class AbcastRunResult:
     network_stats: dict
     sim: Simulator = field(repr=False)
     hosts: dict[int, AbcastHost] = field(repr=False)
+    nodes: dict[int, Node] = field(repr=False, default_factory=dict)
 
     def latency_of(self, msg_id: tuple[int, int]) -> float | None:
         """Paper's latency: shortest delay between a-broadcast and a-deliver."""
@@ -237,4 +238,5 @@ def run_abcast(
         network_stats=network.stats.snapshot(),
         sim=sim,
         hosts=hosts,
+        nodes=nodes,
     )

@@ -33,7 +33,7 @@ from repro.sim.process import Environment
 __all__ = ["WabMessage", "WabOracle"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WabMessage:
     """Wire format of one w-broadcast."""
 

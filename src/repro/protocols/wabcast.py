@@ -40,7 +40,7 @@ from repro.sim.process import Environment
 __all__ = ["WabCheck", "WabDecision", "WabCast"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WabCheck:
     """Inner-round verification vote."""
 
@@ -49,7 +49,7 @@ class WabCheck:
     value: frozenset
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WabDecision:
     """Decision dissemination for laggards."""
 

@@ -12,20 +12,40 @@ paper's evaluation (section 8) with a reproducible event loop:
 
 The kernel knows nothing about networks, nodes or protocols; those live in
 :mod:`repro.sim.network` and :mod:`repro.sim.node`.
+
+Hot-path layout
+---------------
+The heap holds plain ``(time, seq, fn, args, event)`` tuples, so heap sifting
+compares tuples in C — ``seq`` is unique, so comparison never reaches the
+callback.  :class:`Event` is a ``__slots__`` handle used only for
+cancellation; the internal fire-and-forget path (``schedule_call_at``, used
+for message arrivals and handler runs, which are never cancelled) pushes
+``event=None`` and skips the allocation.  Cancellation is *lazy*: ``cancel()`` flips a flag
+and bumps a counter; the dead entry stays queued until it surfaces at the heap
+top (where it is discarded) or until cancelled entries outnumber live ones,
+at which point the queue is compacted in place.  ``pending()`` is therefore
+O(1), and a long-lived pile of cancelled timers costs memory only, not time.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 import random
 import zlib
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Any, Callable, Iterator
 
 from repro.errors import SimulationError
 
 __all__ = ["Event", "Simulator", "derive_seed"]
+
+#: Negative delays no larger than this are treated as float roundoff from
+#: ``schedule_at`` arithmetic and clamped to zero instead of raising.
+_EPSILON = 1e-12
+
+#: Compaction policy: rebuild the heap once at least this many cancelled
+#: entries are queued *and* they outnumber the live ones.
+_COMPACT_MIN_CANCELLED = 64
 
 
 def derive_seed(root_seed: int, *names: Any) -> int:
@@ -40,25 +60,50 @@ def derive_seed(root_seed: int, *names: Any) -> int:
     return zlib.crc32(material) ^ (root_seed & 0xFFFFFFFF)
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """A scheduled callback (cancellation handle).
 
     Events order by ``(time, seq)``; ``seq`` is a monotonically increasing
     insertion counter, which makes simultaneous events fire in the order they
     were scheduled — the property that makes whole-experiment runs
-    bit-reproducible.
+    bit-reproducible.  The ordering itself is carried by the kernel's heap
+    tuples; this object exists so callers can :meth:`cancel`.
     """
 
-    time: float
-    seq: int
-    fn: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple = (),
+        sim: "Simulator | None" = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self._sim = sim
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        state = "cancelled" if self.cancelled else "pending" if self._sim else "done"
+        return f"Event(time={self.time!r}, seq={self.seq}, {state})"
 
     def cancel(self) -> None:
-        """Mark the event so the kernel skips it when its time comes."""
-        self.cancelled = True
+        """Mark the event so the kernel skips it when its time comes.
+
+        Idempotent, and a harmless no-op after the event has already fired
+        (cancel-after-pop) — matching the seed kernel's semantics.
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self._sim
+            if sim is not None:
+                # Still queued: account for the dead entry so pending() stays
+                # O(1) and the queue can be compacted when mostly dead.
+                sim._note_cancel()
 
 
 class Simulator:
@@ -82,13 +127,19 @@ class Simulator:
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
-        self._queue: list[Event] = []
-        self._seq = itertools.count()
+        # Heap entries are (time, seq, fn, args, event-or-None): seq is
+        # unique, so tuple comparison never reaches fn.  The Event handle is
+        # only materialised by schedule()/schedule_at(); the internal
+        # fire-and-forget path (schedule_call_at) pushes a bare entry.
+        self._queue: list[tuple[float, int, Callable[..., None], tuple, Event | None]] = []
+        self._seq = 0
         self._now = 0.0
         self._running = False
         self._stopped = False
         self._rngs: dict[tuple, random.Random] = {}
         self._events_processed = 0
+        self._cancelled_queued = 0
+        self._compactions = 0
 
     # ------------------------------------------------------------------ time
 
@@ -102,6 +153,16 @@ class Simulator:
         """Number of events executed so far (for diagnostics and tests)."""
         return self._events_processed
 
+    @property
+    def events_scheduled(self) -> int:
+        """Number of events ever scheduled (diagnostics)."""
+        return self._seq
+
+    @property
+    def compactions(self) -> int:
+        """Number of heap compactions performed (diagnostics)."""
+        return self._compactions
+
     # ------------------------------------------------------------- randomness
 
     def rng(self, *names: Any) -> random.Random:
@@ -111,11 +172,10 @@ class Simulator:
         :class:`random.Random` instance for the same path, seeded from the
         simulator's root seed and the path.
         """
-        key = tuple(names)
-        stream = self._rngs.get(key)
+        stream = self._rngs.get(names)
         if stream is None:
             stream = random.Random(derive_seed(self.seed, *names))
-            self._rngs[key] = stream
+            self._rngs[names] = stream
         return stream
 
     # ------------------------------------------------------------- scheduling
@@ -124,17 +184,89 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
 
         Returns the :class:`Event`, whose :meth:`Event.cancel` method removes
-        it logically from the queue.  ``delay`` must be non-negative.
+        it logically from the queue.  ``delay`` must be non-negative; negative
+        delays within float-roundoff distance of zero (1e-12) are clamped.
         """
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
-        event = Event(self._now + delay, next(self._seq), fn, args)
-        heapq.heappush(self._queue, event)
+        if delay < 0.0:
+            if delay >= -_EPSILON:
+                delay = 0.0
+            else:
+                raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, fn, args, self)
+        heappush(self._queue, (time, seq, fn, args, event))
         return event
 
     def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
-        return self.schedule(time - self._now, fn, *args)
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``.
+
+        Sub-epsilon roundoff below ``now`` (a time a hair in the past after
+        float arithmetic) is clamped to ``now`` rather than raising.
+        """
+        # Kept as now + (time - now), not time itself: the historical event
+        # timestamps were computed this way and bit-reproducibility of old
+        # traces depends on the exact float arithmetic.
+        now = self._now
+        delay = time - now
+        if delay < 0.0:
+            if delay >= -_EPSILON:
+                delay = 0.0
+            else:
+                raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        time = now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, fn, args, self)
+        heappush(self._queue, (time, seq, fn, args, event))
+        return event
+
+    def schedule_call_at(self, time: float, fn: Callable[..., None], args: tuple) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no cancellation handle.
+
+        The hot internal callers (network arrivals, node handler runs) never
+        cancel their events, so this path skips the :class:`Event`
+        allocation entirely.  Ordering and timestamp arithmetic are identical
+        to :meth:`schedule_at`.
+        """
+        now = self._now
+        delay = time - now
+        if delay < 0.0:
+            if delay >= -_EPSILON:
+                delay = 0.0
+            else:
+                raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (now + delay, seq, fn, args, None))
+
+    # ---------------------------------------------------------- cancellation
+
+    def _note_cancel(self) -> None:
+        """Account for one newly cancelled, still-queued event."""
+        self._cancelled_queued += 1
+        if (
+            self._cancelled_queued >= _COMPACT_MIN_CANCELLED
+            and self._cancelled_queued * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In-place (``queue[:] = ...``) so that a compaction triggered from
+        inside a running event handler stays visible to the run loop's local
+        alias of the queue.  Total order is ``(time, seq)`` with unique
+        ``seq``, so the pop order of survivors is unchanged.
+        """
+        queue = self._queue
+        queue[:] = [
+            entry for entry in queue if entry[4] is None or not entry[4].cancelled
+        ]
+        heapq.heapify(queue)
+        self._cancelled_queued = 0
+        self._compactions += 1
 
     # -------------------------------------------------------------- execution
 
@@ -151,40 +283,51 @@ class Simulator:
         self._running = True
         self._stopped = False
         budget = max_events
+        queue = self._queue
+        pop = heappop
+        processed = 0
         try:
-            while self._queue and not self._stopped:
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
+            while queue and not self._stopped:
+                time, _seq, fn, args, event = queue[0]
+                if event is not None and event.cancelled:
+                    pop(queue)
+                    self._cancelled_queued -= 1
                     continue
-                if until is not None and event.time > until:
+                if until is not None and time > until:
                     break
                 if budget is not None:
                     if budget == 0:
                         break
                     budget -= 1
-                heapq.heappop(self._queue)
-                if event.time < self._now:
+                pop(queue)
+                if time < self._now:
                     raise SimulationError(
-                        f"event queue corrupted: event at {event.time} < now {self._now}"
+                        f"event queue corrupted: event at {time} < now {self._now}"
                     )
-                self._now = event.time
-                self._events_processed += 1
-                event.fn(*event.args)
+                if event is not None:
+                    event._sim = None  # popped: cancel() becomes a pure no-op
+                self._now = time
+                processed += 1
+                fn(*args)
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
         finally:
+            self._events_processed += processed
             self._running = False
 
     def step(self) -> bool:
         """Execute exactly one pending event.  Returns False if none remain."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
+        queue = self._queue
+        while queue:
+            time, _seq, fn, args, event = heappop(queue)
+            if event is not None:
+                if event.cancelled:
+                    self._cancelled_queued -= 1
+                    continue
+                event._sim = None
+            self._now = time
             self._events_processed += 1
-            event.fn(*event.args)
+            fn(*args)
             return True
         return False
 
@@ -193,17 +336,19 @@ class Simulator:
         self._stopped = True
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return len(self._queue) - self._cancelled_queued
 
     def drain_iter(self, until: float | None = None) -> Iterator[float]:
         """Yield the virtual time after each executed event (test helper)."""
-        while self._queue:
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            time, _seq, _fn, _args, head = queue[0]
+            if head is not None and head.cancelled:
+                heappop(queue)
+                self._cancelled_queued -= 1
                 continue
-            if until is not None and head.time > until:
+            if until is not None and time > until:
                 return
             self.step()
             yield self._now

@@ -14,6 +14,7 @@ crash-stop model where a crashed process takes no further steps.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable
 
 from repro.errors import ConfigurationError
@@ -42,18 +43,21 @@ class NodeEnvironment(Environment):
         self.rng = node.sim.rng("proc", node.pid)
 
     def _alive(self) -> bool:
-        return not self._node.crashed and self._node.process is self._incarnation
+        node = self._node
+        return not node._crashed and node.process is self._incarnation
 
     def send(self, dst: int, msg: Any) -> None:
-        if self._alive():
-            self._node.network.send(self.pid, dst, msg, channel=RELIABLE)
+        node = self._node  # _alive(), inlined: send is the hottest env call
+        if not node._crashed and node.process is self._incarnation:
+            node.network.send(self.pid, dst, msg, channel=RELIABLE)
 
     def datagram(self, dst: int, msg: Any) -> None:
-        if self._alive():
-            self._node.network.send(self.pid, dst, msg, channel=DATAGRAM)
+        node = self._node
+        if not node._crashed and node.process is self._incarnation:
+            node.network.send(self.pid, dst, msg, channel=DATAGRAM)
 
     def now(self) -> float:
-        return self._node.sim.now
+        return self._node.sim._now
 
     def set_timer(self, name: Any, delay: float) -> None:
         if self._alive():
@@ -101,6 +105,9 @@ class Node:
         self.peers = sorted(peers)
         self.process = process
         self._service_time = service_time
+        # Constant service times take a branch-free path in _enqueue; a
+        # callable model falls back to a per-event call.
+        self._fixed_cost = None if callable(service_time) else float(service_time)
         self._busy_until = 0.0
         self._crashed = False
         self._started = False
@@ -183,7 +190,26 @@ class Node:
         """Called by the network when a message arrives at this node."""
         if self._crashed:
             return
-        self._enqueue("message", envelope.src, envelope.payload)
+        # _enqueue, unrolled: one call frame per message delivery matters at
+        # Figure-2 sweep rates.
+        cost = self._fixed_cost
+        if cost is None:
+            cost = self._service_time("message", envelope.payload)
+        sim = self.sim
+        now = sim._now
+        start = now
+        if self._busy_until > start:
+            start = self._busy_until
+        self._busy_until = busy_until = start + cost
+        self.busy_time += cost
+        args = ("message", envelope.src, envelope.payload)
+        delay = busy_until - now
+        if delay >= 0.0:
+            seq = sim._seq
+            sim._seq = seq + 1
+            heappush(sim._queue, (now + delay, seq, self._run_handler, args, None))
+        else:
+            sim.schedule_call_at(busy_until, self._run_handler, args)
 
     def set_timer(self, name: Any, delay: float) -> None:
         if self._crashed:
@@ -211,24 +237,40 @@ class Node:
 
     def _enqueue(self, kind: str, src: int | None, payload: Any) -> None:
         """Serialise handler execution on the node's single CPU."""
-        cost = self._cost(kind, payload)
-        start = max(self.sim.now, self._busy_until)
-        self._busy_until = start + cost
+        cost = self._fixed_cost
+        if cost is None:
+            cost = self._service_time(kind, payload)
+        sim = self.sim
+        now = sim._now
+        start = now
+        if self._busy_until > start:
+            start = self._busy_until
+        self._busy_until = busy_until = start + cost
         self.busy_time += cost
         # The handler observes the world at the time the CPU *finishes* the
         # work, so sends it performs are stamped after the service time.
-        self.sim.schedule_at(self._busy_until, self._run_handler, kind, src, payload)
+        # Inlined sim.schedule_call_at (same timestamp arithmetic, one frame
+        # less); a negative cost model falls back to the checked path.
+        delay = busy_until - now
+        if delay >= 0.0:
+            seq = sim._seq
+            sim._seq = seq + 1
+            heappush(
+                sim._queue, (now + delay, seq, self._run_handler, (kind, src, payload), None)
+            )
+        else:
+            sim.schedule_call_at(busy_until, self._run_handler, (kind, src, payload))
 
     def _run_handler(self, kind: str, src: int | None, payload: Any) -> None:
         if self._crashed:
             return
         self.events_handled += 1
-        if kind == "start":
-            self.process.on_start()
-        elif kind == "message":
+        if kind == "message":  # by far the most frequent kind
             self.process.on_message(src, payload)
         elif kind == "timer":
             self.process.on_timer(payload)
+        elif kind == "start":
+            self.process.on_start()
 
     # ------------------------------------------------------------ diagnostics
 

@@ -95,7 +95,7 @@ class Process(abc.ABC):
         """Called when the node hosting this process is crashed (simulation only)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Scoped:
     """A message or timer name namespaced to a sub-module."""
 
@@ -126,6 +126,23 @@ class ScopedEnvironment(Environment):
 
     def datagram(self, dst: int, msg: Any) -> None:
         self._host.datagram(dst, Scoped(self._scope, msg))
+
+    def broadcast(self, msg: Any) -> None:
+        # Wrap once and share the frozen envelope across all destinations:
+        # the network's byte accounting then pays one repr per broadcast
+        # instead of n, and per-send allocation drops.  Receivers treat
+        # messages as immutable values, so sharing is observationally
+        # identical to wrapping per destination.
+        wrapped = Scoped(self._scope, msg)
+        host = self._host
+        for dst in self.peers:
+            host.send(dst, wrapped)
+
+    def datagram_broadcast(self, msg: Any) -> None:
+        wrapped = Scoped(self._scope, msg)
+        host = self._host
+        for dst in self.peers:
+            host.datagram(dst, wrapped)
 
     def now(self) -> float:
         return self._host.now()

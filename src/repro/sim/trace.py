@@ -9,7 +9,7 @@ and subscribers get synchronous callbacks.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
@@ -31,7 +31,7 @@ class KINDS:
     ALL = frozenset({A_BROADCAST, A_DELIVER, DECIDE})
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One traced occurrence."""
 
@@ -42,17 +42,28 @@ class TraceRecord:
 
 
 class Tracer:
-    """Collects :class:`TraceRecord` instances and notifies subscribers."""
+    """Collects :class:`TraceRecord` instances and notifies subscribers.
+
+    An incremental per-kind index is maintained on every emit, making the
+    common queries (:meth:`of_kind`, :meth:`by_pid` with a kind,
+    :meth:`counts`, :meth:`first`) O(result) instead of O(all records).
+    """
 
     def __init__(self) -> None:
         self.records: list[TraceRecord] = []
         self._subscribers: list[Callable[[TraceRecord], None]] = []
+        self._by_kind: dict[str, list[TraceRecord]] = {}
 
     def emit(self, time: float, pid: int, kind: str, data: Any = None) -> None:
         record = TraceRecord(time, pid, kind, data)
         self.records.append(record)
-        for fn in self._subscribers:
-            fn(record)
+        bucket = self._by_kind.get(kind)
+        if bucket is None:
+            self._by_kind[kind] = bucket = []
+        bucket.append(record)
+        if self._subscribers:
+            for fn in self._subscribers:
+                fn(record)
 
     def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
         self._subscribers.append(fn)
@@ -74,30 +85,29 @@ class Tracer:
     # ----------------------------------------------------------------- queries
 
     def of_kind(self, kind: str) -> list[TraceRecord]:
-        return [r for r in self.records if r.kind == kind]
+        return list(self._by_kind.get(kind, ()))
 
     def by_pid(self, kind: str | None = None) -> dict[int, list[TraceRecord]]:
+        source = self.records if kind is None else self._by_kind.get(kind, ())
         out: dict[int, list[TraceRecord]] = defaultdict(list)
-        for r in self.records:
-            if kind is None or r.kind == kind:
-                out[r.pid].append(r)
+        for r in source:
+            out[r.pid].append(r)
         return dict(out)
 
     def first(self, kind: str) -> TraceRecord | None:
-        for r in self.records:
-            if r.kind == kind:
-                return r
-        return None
+        bucket = self._by_kind.get(kind)
+        return bucket[0] if bucket else None
 
     def kinds(self) -> set[str]:
-        return {r.kind for r in self.records}
+        return set(self._by_kind)
 
     def counts(self) -> dict[str, int]:
-        """Number of records per kind."""
-        return dict(Counter(r.kind for r in self.records))
+        """Number of records per kind (in first-seen kind order)."""
+        return {kind: len(bucket) for kind, bucket in self._by_kind.items()}
 
     def filter(self, predicate: Callable[[TraceRecord], bool]) -> Iterable[TraceRecord]:
         return (r for r in self.records if predicate(r))
 
     def clear(self) -> None:
         self.records.clear()
+        self._by_kind.clear()

@@ -1,0 +1,301 @@
+"""Determinism and hot-path semantics guarantees of the optimised kernel.
+
+The PR-2 hot-path work (tuple heap entries, lazy cancellation, memoized byte
+accounting, inlined scheduling) is only admissible because it is
+*observationally identical* to the straightforward seed implementation.
+These tests pin the guarantees down:
+
+* same seed ⇒ identical event order, identical trace byte-serialisation,
+  identical report JSON;
+* cancellation semantics (cancel-after-pop no-op, idempotent cancel,
+  compaction preserves pop order and ``pending()`` accounting);
+* sub-epsilon negative-delay clamping (satellite of this PR);
+* memoized byte accounting is *exact* against the reference
+  ``HEADER_BYTES + len(repr(payload))`` for every payload shape the
+  protocols send, through both ``record_sent`` and the inlined copy in
+  ``Network.send``;
+* ``add_filter`` removal is by identity.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.engine import PAPER_LAN, AbcastRunSpec
+from repro.engine.runner import execute_run
+from repro.errors import SimulationError
+from repro.sim.kernel import _COMPACT_MIN_CANCELLED, Simulator
+from repro.sim.network import (
+    HEADER_BYTES,
+    Envelope,
+    Network,
+    NetworkStats,
+    _approx_bytes,
+)
+from repro.sim.process import Scoped
+from repro.sim.trace import Tracer
+
+
+# --------------------------------------------------------------- event order
+
+
+def _jittery_run(seed: int) -> list[tuple[float, str]]:
+    """A small randomised schedule with cancellations; returns the fire log."""
+    sim = Simulator(seed=seed)
+    rng = sim.rng("jitter")
+    log: list[tuple[float, str]] = []
+
+    def fire(tag: str) -> None:
+        log.append((sim.now, tag))
+        # Handlers schedule follow-ups, like protocol code does.
+        if len(log) < 200:
+            sim.schedule(rng.random() * 1e-3, fire, f"{tag}+")
+
+    events = []
+    for i in range(50):
+        events.append(sim.schedule(rng.random() * 1e-2, fire, f"e{i}"))
+    for i, event in enumerate(events):
+        if i % 3 == 0:
+            event.cancel()
+    sim.run(until=0.05)
+    return log
+
+
+def test_same_seed_identical_event_order():
+    assert _jittery_run(7) == _jittery_run(7)
+
+
+def test_different_seed_different_order():
+    # Sanity check that the jittery run actually depends on the seed.
+    assert _jittery_run(7) != _jittery_run(8)
+
+
+def _spec(seed: int = 3) -> AbcastRunSpec:
+    return AbcastRunSpec(
+        protocol="cabcast-p",
+        rate=100.0,
+        duration=0.3,
+        n=4,
+        seed=seed,
+        warmup=0.05,
+        cluster=PAPER_LAN,
+    )
+
+
+def _trace_bytes(tracer: Tracer) -> bytes:
+    return json.dumps(
+        [[r.time, r.pid, r.kind, repr(r.data)] for r in tracer.records]
+    ).encode()
+
+
+def test_same_seed_identical_trace_bytes():
+    from repro.harness.abcast_runner import run_abcast
+
+    runs = []
+    for _ in range(2):
+        tracer = Tracer()
+        result = run_abcast(_spec(), tracer=tracer)
+        runs.append((_trace_bytes(tracer), result.deliveries, result.network_stats))
+    assert runs[0][0] == runs[1][0]
+    assert runs[0][1] == runs[1][1]
+    assert runs[0][2] == runs[1][2]
+
+
+def test_same_seed_identical_report_json():
+    first = json.dumps(execute_run(_spec()).to_dict(), sort_keys=True)
+    second = json.dumps(execute_run(_spec()).to_dict(), sort_keys=True)
+    assert first == second
+
+
+# -------------------------------------------------------------- cancellation
+
+
+def test_cancel_after_pop_is_noop():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    event.cancel()  # must not raise or corrupt accounting
+    event.cancel()
+    assert sim.pending() == 0
+    sim.schedule(1.0, fired.append, "y")
+    assert sim.pending() == 1
+    sim.run()
+    assert fired == ["x", "y"]
+
+
+def test_cancel_twice_counts_once():
+    sim = Simulator()
+    fired = []
+    doomed = sim.schedule(1.0, fired.append, "dead")
+    sim.schedule(2.0, fired.append, "live")
+    doomed.cancel()
+    doomed.cancel()
+    assert sim.pending() == 1
+    sim.run()
+    assert fired == ["live"]
+    assert sim.pending() == 0
+
+
+def test_compaction_preserves_order_and_accounting():
+    sim = Simulator()
+    fired = []
+    keep = _COMPACT_MIN_CANCELLED // 2
+    events = [
+        sim.schedule(1.0 + i * 1e-6, fired.append, i)
+        for i in range(_COMPACT_MIN_CANCELLED * 4)
+    ]
+    for i, event in enumerate(events):
+        if i >= keep:
+            event.cancel()
+    assert sim.compactions >= 1  # the cancel storm must have compacted
+    assert sim.pending() == keep
+    sim.run()
+    assert fired == list(range(keep))  # (time, seq) order survived compaction
+    assert sim.pending() == 0
+
+
+def test_cancel_inside_handler_before_fire():
+    sim = Simulator()
+    fired = []
+    later = sim.schedule(2.0, fired.append, "later")
+    sim.schedule(1.0, later.cancel)
+    sim.run()
+    assert fired == []
+
+
+# ------------------------------------------------------------ epsilon clamp
+
+
+def test_sub_epsilon_negative_delay_clamps_to_now():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.5, lambda: None)
+    sim.step()
+    assert sim.now == 0.5
+    event = sim.schedule(-1e-13, fired.append, "clamped")
+    assert event.time == sim.now
+    at_event = sim.schedule_at(sim.now - 1e-13, fired.append, "clamped-at")
+    assert at_event.time == sim.now
+    sim.run()
+    assert fired == ["clamped", "clamped-at"]
+
+
+def test_past_scheduling_still_raises():
+    sim = Simulator()
+    sim.schedule(0.5, lambda: None)
+    sim.step()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1e-9, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.4, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_call_at(0.4, lambda: None, ())
+
+
+# ---------------------------------------------------------- byte accounting
+
+
+@dataclass(frozen=True)
+class _Msg:
+    """Stand-in protocol message with a compositional dataclass repr."""
+
+    round: int
+    value: object
+
+
+def _payload_zoo() -> list:
+    scope = ("abc", "sub")
+    shared_inner = _Msg(1, "shared")
+    shared_wrapped = Scoped(scope, shared_inner)
+    fs = frozenset({1, 2, 3})
+    return [
+        _Msg(0, "plain"),
+        _Msg(0, "plain"),  # equal but distinct object
+        shared_wrapped,
+        shared_wrapped,  # identity-memo hit
+        Scoped(scope, shared_inner),  # distinct wrapper, same inner
+        Scoped(scope, Scoped(("inner",), _Msg(2, fs))),  # nested wrapper
+        _Msg(3, fs),
+        _Msg(4, fs),  # same frozenset object again
+        "bare string",
+        (1, 2.5, None),
+        _Msg(5, [1, 2, 3]),  # mutable value -> opaque path
+        None,
+    ]
+
+
+def test_record_sent_bytes_exact_vs_naive():
+    stats = NetworkStats()
+    payloads = _payload_zoo()
+    for payload in payloads:
+        stats.record_sent(Envelope(0, 1, payload, "reliable", 0.0))
+    assert stats.sent == len(payloads)
+    assert stats.bytes_sent == sum(_approx_bytes(p) for p in payloads)
+    assert sum(stats.by_kind_bytes.values()) == stats.bytes_sent
+
+
+def test_send_inlined_bytes_exact_vs_naive():
+    """The copy of record_sent inlined into Network.send must stay exact."""
+
+    class Sink:
+        def deliver(self, envelope):
+            pass
+
+    sim = Simulator(seed=0)
+    network = Network(sim)
+    network.register(0, Sink())
+    network.register(1, Sink())
+    payloads = _payload_zoo()
+    for payload in payloads:
+        network.send(0, 1, payload)
+    sim.run()
+    assert network.stats.sent == len(payloads)
+    assert network.stats.bytes_sent == sum(_approx_bytes(p) for p in payloads)
+
+
+def test_byte_accounting_naive_reference():
+    assert _approx_bytes("x") == HEADER_BYTES + len(repr("x"))
+
+
+# -------------------------------------------------------------- link filters
+
+
+def test_add_filter_removes_by_identity():
+    class Sink:
+        def __init__(self):
+            self.received = 0
+
+        def deliver(self, envelope):
+            self.received += 1
+
+    sim = Simulator(seed=0)
+    network = Network(sim)
+    sink = Sink()
+    network.register(0, Sink())
+    network.register(1, sink)
+
+    def drop_all(envelope):
+        return False
+
+    remove_first = network.add_filter(drop_all)
+    remove_second = network.add_filter(drop_all)  # same function, twice
+
+    network.send(0, 1, "blocked")
+    sim.run()
+    assert sink.received == 0
+
+    remove_first()
+    network.send(0, 1, "still blocked")  # one drop_all instance remains
+    sim.run()
+    assert sink.received == 0
+
+    remove_second()
+    remove_second()  # removing an already-removed filter is a no-op
+    network.send(0, 1, "flows")
+    sim.run()
+    assert sink.received == 1
