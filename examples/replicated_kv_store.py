@@ -1,119 +1,89 @@
 #!/usr/bin/env python3
-"""Replicated key-value store: state machine replication over C-Abcast.
+"""Replicated key-value store on the repro.rsm service layer.
 
 The paper's motivation (section 1): "Atomic broadcast, which is at the core
 of state machine replication, can be implemented as a sequence of consensus
-instances."  This example builds exactly that stack:
+instances."  This example runs that stack end to end through
+:mod:`repro.rsm` — the service layer the repo builds on top of C-Abcast:
 
-    KV store (state machine)
-      └── C-Abcast            (algorithm 3)
-            ├── WAB oracle    (spontaneous order)
-            └── L-Consensus   (algorithm 1, one instance per batch)
+    client sessions (retries, exactly-once)
+      └── RsmReplica  (batching, snapshots, log compaction)
+            └── C-Abcast            (algorithm 3)
+                  ├── WAB oracle    (spontaneous order)
+                  └── L-Consensus   (algorithm 1, one instance per batch)
 
-Four replicas apply SET/DEL commands in a-delivery order; one replica
-crashes mid-run; the survivors end with byte-identical stores.
+Six client sessions drive SET/GET/CAS/DEL traffic at four replicas; one
+replica crashes mid-run and rejoins as a learner, recovering from its own
+stable-storage snapshot plus a replayed log suffix fetched from the
+survivors.  The run ends with every store byte-identical — the rejoined
+replica included — and the committed history checked linearizable.
 
 Usage:  python examples/replicated_kv_store.py
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from repro.engine import PAPER_LAN, RsmRunSpec
+from repro.rsm import run_rsm, service_metrics
 
-from repro.core import LConsensus
-from repro.core.abcast_base import AppMessage
-from repro.core.cabcast import CAbcast
-from repro.fd.oracle import OracleFailureDetector
-from repro.harness.abcast_runner import AbcastHost
-from repro.harness.checkers import check_uniform_total_order
-from repro.sim.kernel import Simulator
-from repro.sim.network import LanDelay, Network
-from repro.sim.node import Node
-
-
-@dataclass(frozen=True)
-class Set:
-    key: str
-    value: str
-
-
-@dataclass(frozen=True)
-class Delete:
-    key: str
-
-
-class KvReplica(AbcastHost):
-    """An AbcastHost that applies delivered commands to a local dict."""
-
-    def __init__(self, module_factory, schedule=()):
-        super().__init__(module_factory, schedule)
-        self.store: dict[str, str] = {}
-        self.applied: list[AppMessage] = []
-
-    def on_start(self):
-        super().on_start()
-        self.abcast.set_on_deliver(self._apply)
-
-    def _apply(self, message: AppMessage) -> None:
-        command = message.payload
-        if isinstance(command, Set):
-            self.store[command.key] = command.value
-        elif isinstance(command, Delete):
-            self.store.pop(command.key, None)
-        self.applied.append(message)
+CRASHED, CRASH_AT = 3, 0.4
 
 
 def main() -> None:
-    sim = Simulator(seed=7)
-    network = Network(sim, delay=LanDelay())
-    pids = [0, 1, 2, 3]
-    oracle = OracleFailureDetector(sim, pids)
-
-    workloads = {
-        0: [
-            (0.001, Set("user:1", "ada")),
-            (0.004, Set("user:2", "grace")),
-            (0.009, Delete("user:1")),
-        ],
-        1: [(0.002, Set("conf:mode", "fast")), (0.006, Set("user:3", "edsger"))],
-        2: [(0.003, Set("user:1", "alan")), (0.008, Set("conf:mode", "safe"))],
-    }
-
-    replicas: dict[int, KvReplica] = {}
-    nodes: dict[int, Node] = {}
-    for pid in pids:
-        replica = KvReplica(
-            module_factory=lambda host, env, pid=pid: CAbcast(
-                env, lambda senv: LConsensus(senv, oracle.omega(pid))
-            ),
-            schedule=workloads.get(pid, ()),
-        )
-        replicas[pid] = replica
-        nodes[pid] = Node(sim, network, pid, pids, replica, service_time=10e-6)
-    oracle.watch(nodes)
-
-    for node in nodes.values():
-        node.start()
-    nodes[3].crash_at(0.005)  # one replica dies mid-run
-    sim.run(until=2.0)
-
-    print("=== replicated KV store over C-Abcast(L-Consensus), n=4, 1 crash ===\n")
-    print("command log (as applied, identical at every survivor):")
-    for message in replicas[0].applied:
-        print(f"  [{message.sent_at * 1e3:6.2f} ms from p{message.origin}] {message.payload}")
-
-    print("\nfinal stores:")
-    for pid in (0, 1, 2):
-        print(f"  replica {pid}: {dict(sorted(replicas[pid].store.items()))}")
-    print(f"  replica 3: crashed at 5 ms (applied {len(replicas[3].applied)} commands)")
-
-    survivors = {pid: replicas[pid] for pid in (0, 1, 2)}
-    check_uniform_total_order(
-        {pid: r.abcast.delivered_ids for pid, r in survivors.items()}
+    spec = RsmRunSpec(
+        protocol="cabcast-l",
+        rate=150,
+        duration=1.0,
+        n=4,
+        clients=6,
+        seed=7,
+        cluster=PAPER_LAN,
+        crash_at=((CRASHED, CRASH_AT),),
     )
-    stores = {frozenset(r.store.items()) for r in survivors.values()}
-    assert len(stores) == 1, "replica divergence!"
-    print("\nsurvivor stores are identical; total order verified.  ✓")
+    # run_rsm checks exactly-once, session order, log agreement,
+    # linearizability and recovery convergence before returning.
+    result = run_rsm(spec)
+    metrics = service_metrics(result)
+
+    print("=== replicated KV service over C-Abcast(L-Consensus), n=4, 1 crash ===\n")
+    latency = metrics["latency_ms"]
+    print(
+        f"committed {metrics['committed']} commands from {spec.clients} sessions "
+        f"({metrics['ops_per_s']:.0f} ops/s; "
+        f"p50 {latency['p50']:.2f} ms, p99 {latency['p99']:.2f} ms)"
+    )
+    print(
+        f"batching amortised consensus: {metrics['batches']['count']} proposals, "
+        f"mean batch size {metrics['batches']['mean_size']:.2f}"
+    )
+    print(
+        f"snapshots: {metrics['snapshots']['taken']} taken, log compacted to "
+        f"index {metrics['snapshots']['last_index']}"
+    )
+
+    auth = result.replicas[result.authority]
+    print(f"\nfinal store (replica {result.authority}, last 5 keys):")
+    for key, value in auth.machine.items()[-5:]:
+        print(f"  {key} = {value}")
+
+    recovery = metrics["recovery"][str(CRASHED)]
+    print(
+        f"\nreplica {CRASHED} crashed at {CRASH_AT * 1e3:.0f} ms, rejoined as a "
+        f"learner from snapshot index {recovery['installed_index']}"
+    )
+    print(
+        f"  replayed {recovery['replayed']} of {metrics['committed']} committed "
+        f"commands (snapshot recovery, not full replay)"
+    )
+    assert recovery["replayed"] < metrics["committed"]
+
+    digests = result.digests()
+    assert len(set(digests.values())) == 1, "replica divergence!"
+    print(f"  rejoined digest equals survivors' digest: {recovery['digest_match']}")
+    print(
+        f"\nsurvivor stores are identical (digest {metrics['digest'][:16]}…); "
+        f"history linearizable: {metrics['linearizable']}.  ✓"
+    )
 
 
 if __name__ == "__main__":

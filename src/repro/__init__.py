@@ -74,9 +74,16 @@ _EXPORTS = {
     "AbcastRunSpec": "repro.engine",
     "ClusterSpec": "repro.engine",
     "ConsensusRunSpec": "repro.engine",
+    "RsmRunSpec": "repro.engine",
     "RunReport": "repro.engine",
     "run_sweep": "repro.engine",
     "sweep_grid": "repro.engine",
+    # rsm service layer
+    "Command": "repro.rsm",
+    "KvStore": "repro.rsm",
+    "StateMachine": "repro.rsm",
+    "RsmReplica": "repro.rsm",
+    "run_rsm": "repro.rsm",
     # errors
     "ReproError": "repro.errors",
     "ConfigurationError": "repro.errors",
@@ -86,6 +93,7 @@ _EXPORTS = {
     "ValidityViolation": "repro.errors",
     "IntegrityViolation": "repro.errors",
     "TotalOrderViolation": "repro.errors",
+    "LinearizabilityViolation": "repro.errors",
     "TerminationFailure": "repro.errors",
 }
 
@@ -121,6 +129,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         AbcastRunSpec,
         ClusterSpec,
         ConsensusRunSpec,
+        RsmRunSpec,
         RunReport,
         run_sweep,
         sweep_grid,
@@ -129,6 +138,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         AgreementViolation,
         ConfigurationError,
         IntegrityViolation,
+        LinearizabilityViolation,
         ProtocolViolation,
         ReproError,
         SimulationError,
@@ -152,5 +162,6 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         PaxosConsensus,
         WabCast,
     )
+    from repro.rsm import Command, KvStore, RsmReplica, StateMachine, run_rsm
     from repro.sim import Cluster, Environment, Process, Simulator
     from repro.workload import latency_vs_throughput

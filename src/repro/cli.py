@@ -4,6 +4,9 @@
 
 * ``consensus`` — one consensus instance on a simulated cluster;
 * ``abcast``    — an atomic-broadcast session with a Poisson workload;
+* ``rsm``       — a replicated KV service (:mod:`repro.rsm`) over any abcast
+  protocol: client sessions, batching, snapshots, crash + learner rejoin;
+  ``--json`` prints the structured report (byte-identical per seed);
 * ``sweep``     — the Figure-2/3 latency-vs-throughput experiment on the
   parallel engine: ``--jobs N`` fans runs over worker processes,
   ``--cache DIR`` reuses results by spec hash, ``--json OUT`` exports the
@@ -11,6 +14,7 @@
 * ``profile``   — one spec run with :mod:`repro.perf` observability:
   per-component event counts, events/sec, virtual-seconds per wall-second,
   optionally a cProfile hot-function table (``--cprofile``);
+* ``protocols`` — the protocol registry (name, kind, default n, description);
 * ``table1``    — the analytical Table 1 for a given group size;
 * ``theorem1``  — the executable Theorem-1 impossibility certificate.
 
@@ -22,6 +26,8 @@ Examples::
 
     python -m repro consensus --protocol p-consensus --proposals a,b,c,d
     python -m repro abcast --protocol cabcast-l --rate 200 --duration 1.0
+    python -m repro rsm --protocol cabcast-l --n 4 --clients 8 --rate 200 \
+        --crash 2@0.5 --json
     python -m repro sweep --protocols cabcast-p,wabcast --rates 20,100,300,500 \
         --jobs 4 --cache ~/.cache/repro-sweeps --json out.json
     python -m repro theorem1
@@ -50,9 +56,14 @@ SWEEP_JSON_SCHEMA = "repro.sweep.v1"
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="One-step Consensus with Zero-Degradation (DSN 2006) — reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -83,6 +94,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_ab.add_argument("--rate", type=float, default=100.0, help="aggregate msg/s")
     p_ab.add_argument("--duration", type=float, default=0.5)
     p_ab.add_argument("--seed", type=int, default=0)
+
+    p_rsm = sub.add_parser(
+        "rsm", help="replicated KV service over an abcast protocol"
+    )
+    p_rsm.add_argument(
+        "--protocol", choices=protocol_names(ABCAST), default="cabcast-l"
+    )
+    p_rsm.add_argument("--n", type=int, default=4, help="replicas")
+    p_rsm.add_argument("--clients", type=int, default=8, help="client sessions")
+    p_rsm.add_argument(
+        "--rate", type=float, default=200.0, help="aggregate client ops/s"
+    )
+    p_rsm.add_argument("--duration", type=float, default=1.0)
+    p_rsm.add_argument("--seed", type=int, default=0)
+    p_rsm.add_argument(
+        "--workload", choices=("open", "closed"), default="open"
+    )
+    p_rsm.add_argument("--keys", type=int, default=32, help="KV key-space size")
+    p_rsm.add_argument("--batch-max", type=int, default=8)
+    p_rsm.add_argument(
+        "--batch-delay", type=float, default=2e-3, metavar="SECONDS"
+    )
+    p_rsm.add_argument(
+        "--snapshot-every", type=int, default=25, metavar="COMMANDS"
+    )
+    p_rsm.add_argument(
+        "--recover-after",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="crashed replicas rejoin as learners after this delay (<0 disables)",
+    )
+    p_rsm.add_argument(
+        "--crash",
+        action="append",
+        default=[],
+        metavar="PID@TIME",
+        help="crash replica PID at TIME seconds (repeatable)",
+    )
+    p_rsm.add_argument(
+        "--json",
+        dest="json_out",
+        action="store_true",
+        help="print the structured run report to stdout (byte-identical per seed)",
+    )
 
     p_sweep = sub.add_parser("sweep", help="latency vs throughput (Figures 2-3)")
     p_sweep.add_argument(
@@ -140,6 +196,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="write the perf section (repro.perf.v1) to FILE",
+    )
+
+    sub.add_parser(
+        "protocols", help="list the protocol registry (name, kind, n, description)"
     )
 
     p_t1 = sub.add_parser("table1", help="print the analytical Table 1")
@@ -201,6 +261,82 @@ def _cmd_abcast(args: argparse.Namespace) -> int:
     print(f"delivered: {result.delivered_count} (total order verified)")
     print(f"latency  : mean {mean_ms:.3f} ms over {len(latencies)} samples")
     print(f"messages : {result.network_stats['sent']} on the wire")
+    return 0
+
+
+def _parse_crashes(items: Sequence[str]) -> tuple[tuple[int, float], ...]:
+    """Parse repeatable ``PID@TIME`` (or legacy ``PID:TIME``) crash args."""
+    crash_at = []
+    for item in items:
+        sep = "@" if "@" in item else ":"
+        pid_text, _, time_text = item.partition(sep)
+        crash_at.append((int(pid_text), float(time_text)))
+    return tuple(crash_at)
+
+
+def _cmd_rsm(args: argparse.Namespace) -> int:
+    from repro.engine import RsmRunSpec
+    from repro.engine.runner import execute_run
+
+    spec = RsmRunSpec(
+        protocol=args.protocol,
+        rate=args.rate,
+        duration=args.duration,
+        n=args.n,
+        clients=args.clients,
+        seed=args.seed,
+        workload=args.workload,
+        keys=args.keys,
+        batch_max=args.batch_max,
+        batch_delay=args.batch_delay,
+        snapshot_every=args.snapshot_every,
+        recover_after=None if args.recover_after < 0 else args.recover_after,
+        cluster=PAPER_LAN,
+        crash_at=_parse_crashes(args.crash),
+    )
+    report = execute_run(spec)
+    if args.json_out:
+        # Canonical form so equal seeds print byte-identical documents.
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    rsm = report.rsm
+    latency = rsm["latency_ms"]
+    print(f"protocol : {args.protocol} (n={args.n}, {args.clients} sessions, "
+          f"{args.workload}-loop {args.rate:.0f} ops/s)")
+    print(f"committed: {rsm['committed']} commands "
+          f"({rsm['ops_per_s']:.0f} ops/s in the window)")
+    if latency is not None:
+        print(f"latency  : p50 {latency['p50']:.3f} ms, "
+              f"p99 {latency['p99']:.3f} ms (mean {latency['mean']:.3f} ms)")
+    print(f"batching : {rsm['batches']['count']} batches, "
+          f"mean size {rsm['batches']['mean_size']:.2f}")
+    print(f"snapshots: {rsm['snapshots']['taken']} taken "
+          f"({rsm['snapshots']['bytes']} bytes), "
+          f"log compacted to index {rsm['snapshots']['last_index']}")
+    print(f"dedup    : {rsm['dedup']['suppressed']} duplicates suppressed, "
+          f"{rsm['dedup']['retries']} client retries")
+    if rsm["crashed"]:
+        print(f"crashed  : {rsm['crashed']}")
+    for pid, info in sorted(rsm["recovery"].items()):
+        verdict = "state matches" if info["digest_match"] else "DIVERGED"
+        print(f"  p{pid} rejoined from snapshot index {info['installed_index']}, "
+              f"replayed {info['replayed']} commands — {verdict}")
+    print(f"checked  : linearizable={str(rsm['linearizable']).lower()}, "
+          f"digest {rsm['digest'][:16]}…")
+    return 0
+
+
+def _cmd_protocols(args: argparse.Namespace) -> int:
+    rows = [
+        (info.name, info.kind, "-" if info.default_n is None else str(info.default_n),
+         info.description)
+        for info in sorted(PROTOCOLS.values(), key=lambda i: (i.kind, i.name))
+    ]
+    name_w = max(len(r[0]) for r in rows)
+    kind_w = max(len(r[1]) for r in rows)
+    print(f"{'name':<{name_w}}  {'kind':<{kind_w}}  {'n':>2}  description")
+    for name, kind, group, description in rows:
+        print(f"{name:<{name_w}}  {kind:<{kind_w}}  {group:>2}  {description}")
     return 0
 
 
@@ -347,8 +483,10 @@ def _cmd_theorem1(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "consensus": _cmd_consensus,
     "abcast": _cmd_abcast,
+    "rsm": _cmd_rsm,
     "sweep": _cmd_sweep,
     "profile": _cmd_profile,
+    "protocols": _cmd_protocols,
     "table1": _cmd_table1,
     "theorem1": _cmd_theorem1,
 }

@@ -26,6 +26,7 @@ from repro.engine.runner import (
     execute_run,
     run_abcast_spec,
     run_consensus_spec,
+    run_rsm_spec,
     run_sweep,
     sweep_grid,
 )
@@ -40,6 +41,7 @@ from repro.engine.spec import (
     AbcastRunSpec,
     ClusterSpec,
     ConsensusRunSpec,
+    RsmRunSpec,
     spec_from_dict,
 )
 
@@ -47,6 +49,7 @@ __all__ = [
     "AbcastRunSpec",
     "ClusterSpec",
     "ConsensusRunSpec",
+    "RsmRunSpec",
     "spec_from_dict",
     "SPEC_VERSION",
     "PAPER_LAN",
@@ -63,5 +66,6 @@ __all__ = [
     "execute_run",
     "run_abcast_spec",
     "run_consensus_spec",
+    "run_rsm_spec",
     "sweep_grid",
 ]

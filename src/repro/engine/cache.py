@@ -16,7 +16,8 @@ import pathlib
 from typing import Union
 
 from repro.engine.report import REPORT_SCHEMA, RunReport
-from repro.engine.spec import AbcastRunSpec
+from repro.engine.spec import AbcastRunSpec, RsmRunSpec
+from repro.errors import ConfigurationError
 
 __all__ = ["ResultCache"]
 
@@ -30,7 +31,7 @@ class ResultCache:
     def path_for(self, key: str) -> pathlib.Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, spec: AbcastRunSpec) -> RunReport | None:
+    def get(self, spec: AbcastRunSpec | RsmRunSpec) -> RunReport | None:
         """The cached report for ``spec``, or None on miss/corruption."""
         path = self.path_for(spec.cache_key())
         try:
@@ -45,7 +46,10 @@ class ResultCache:
             return None
         try:
             return RunReport.from_dict(data)
-        except (KeyError, TypeError, ValueError):
+        except (KeyError, TypeError, ValueError, ConfigurationError):
+            # ConfigurationError covers entries whose stored spec no longer
+            # decodes (unknown kind/model after a hand edit or version skew);
+            # like truncated JSON, that is a miss to re-run, never a crash.
             return None
 
     def put(self, report: RunReport) -> pathlib.Path:

@@ -15,7 +15,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.engine.spec import AbcastRunSpec
+from repro.engine.spec import AbcastRunSpec, RsmRunSpec, spec_from_dict
 from repro.workload.metrics import LatencySummary
 
 __all__ = ["REPORT_SCHEMA", "RunReport"]
@@ -36,7 +36,7 @@ class RunReport:
     records per kind.
     """
 
-    spec: AbcastRunSpec
+    spec: AbcastRunSpec | RsmRunSpec
     key: str
     offered: int
     delivered: int
@@ -49,6 +49,10 @@ class RunReport:
     #: only when the run was executed with ``collect_perf=True``.  Omitted
     #: from :meth:`to_dict` when absent so default sweep JSON is unchanged.
     perf: dict | None = None
+    #: Optional service-level section for RSM runs
+    #: (:func:`repro.rsm.runner.service_metrics`): committed-ops/s, commit
+    #: latency percentiles, batching, apply lag, snapshots, dedup, recovery.
+    rsm: dict | None = None
 
     # ------------------------------------------------------------- shortcuts
 
@@ -93,13 +97,21 @@ class RunReport:
         }
         if self.perf is not None:
             data["perf"] = self.perf
+        if self.rsm is not None:
+            data["rsm"] = self.rsm
         return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunReport":
         summary = data["summary"]
+        spec_data = data["spec"]
+        # Reports predating the spec "kind" tag are all abcast runs.
+        if "kind" in spec_data:
+            spec = spec_from_dict(spec_data)
+        else:
+            spec = AbcastRunSpec.from_dict(spec_data)
         return cls(
-            spec=AbcastRunSpec.from_dict(data["spec"]),
+            spec=spec,
             key=data["key"],
             offered=data["offered"],
             delivered=data["delivered"],
@@ -109,4 +121,5 @@ class RunReport:
             trace_counts=data["trace_counts"],
             sim_time=data["sim_time"],
             perf=data.get("perf"),
+            rsm=data.get("rsm"),
         )

@@ -20,7 +20,7 @@ from typing import Sequence, Union
 
 from repro.engine.cache import ResultCache
 from repro.engine.report import RunReport
-from repro.engine.spec import AbcastRunSpec, ClusterSpec, ConsensusRunSpec
+from repro.engine.spec import AbcastRunSpec, ClusterSpec, ConsensusRunSpec, RsmRunSpec
 from repro.errors import ConfigurationError
 from repro.harness.registry import ABCAST, CONSENSUS, get_protocol
 from repro.sim.trace import Tracer
@@ -32,6 +32,7 @@ __all__ = [
     "execute_run",
     "run_abcast_spec",
     "run_consensus_spec",
+    "run_rsm_spec",
     "sweep_grid",
     "window_latencies",
 ]
@@ -93,6 +94,13 @@ def run_consensus_spec(spec: ConsensusRunSpec, tracer: Tracer | None = None):
     )
 
 
+def run_rsm_spec(spec: RsmRunSpec, tracer: Tracer | None = None):
+    """Execute one RSM service spec; returns an ``RsmRunResult``."""
+    from repro.rsm.runner import run_rsm
+
+    return run_rsm(spec, tracer=tracer)
+
+
 def _build_schedules(spec: AbcastRunSpec):
     # Imported lazily: repro.workload's package __init__ pulls in the
     # experiment module, which imports this package.
@@ -114,14 +122,19 @@ def window_latencies(result, warmup: float, duration: float) -> tuple[int, list[
     return len(window_ids), latencies
 
 
-def execute_run(spec: AbcastRunSpec, collect_perf: bool = False) -> RunReport:
+def execute_run(
+    spec: AbcastRunSpec | RsmRunSpec, collect_perf: bool = False
+) -> RunReport:
     """Run one spec to completion and distil it into a :class:`RunReport`.
 
     Top-level (picklable) so worker processes can execute it by reference.
-    ``collect_perf`` additionally times the run against the wall clock and
-    attaches a :mod:`repro.perf` section (``report.perf``); the default path
-    never reads the clock, so normal sweeps are unaffected.
+    Dispatches on the spec kind, so abcast and RSM cells can share one sweep
+    grid.  ``collect_perf`` additionally times the run against the wall clock
+    and attaches a :mod:`repro.perf` section (``report.perf``); the default
+    path never reads the clock, so normal sweeps are unaffected.
     """
+    if isinstance(spec, RsmRunSpec):
+        return _execute_rsm_run(spec, collect_perf=collect_perf)
     tracer = Tracer()
     perf = None
     if collect_perf:
@@ -156,6 +169,45 @@ def execute_run(spec: AbcastRunSpec, collect_perf: bool = False) -> RunReport:
     )
 
 
+def _execute_rsm_run(spec: RsmRunSpec, collect_perf: bool = False) -> RunReport:
+    """Run one RSM spec into a :class:`RunReport` with an ``rsm`` section."""
+    from repro.rsm.runner import service_metrics, window_commit_latencies
+
+    tracer = Tracer()
+    perf = None
+    if collect_perf:
+        from time import perf_counter
+
+        from repro.perf import collect
+
+        wall_start = perf_counter()
+        result = run_rsm_spec(spec, tracer=tracer)
+        wall_seconds = perf_counter() - wall_start
+        perf = collect(
+            result.sim,
+            wall_seconds=wall_seconds,
+            network_stats=result.network_stats,
+            nodes=result.nodes,
+            trace_counts=tracer.counts(),
+        ).to_dict()
+    else:
+        result = run_rsm_spec(spec, tracer=tracer)
+    offered, latencies = window_commit_latencies(result)
+    return RunReport(
+        spec=spec,
+        key=spec.cache_key(),
+        offered=offered,
+        delivered=len(latencies),
+        latencies=tuple(latencies),
+        summary=summarize(latencies),
+        network=result.network_stats,
+        trace_counts=tracer.counts(),
+        sim_time=result.duration,
+        perf=perf,
+        rsm=service_metrics(result),
+    )
+
+
 @dataclass
 class SweepResult:
     """Reports of one sweep, in spec order, plus cache accounting."""
@@ -186,11 +238,11 @@ def _as_cache(cache: CacheLike) -> ResultCache | None:
 
 
 def run_sweep(
-    specs: Sequence[AbcastRunSpec],
+    specs: Sequence[AbcastRunSpec | RsmRunSpec],
     jobs: int = 1,
     cache: CacheLike = None,
 ) -> SweepResult:
-    """Execute a grid of abcast specs, parallel across processes, cached.
+    """Execute a grid of abcast/RSM specs, parallel across processes, cached.
 
     ``jobs`` > 1 fans cache misses over that many worker processes (runs are
     independent simulations, so results are bitwise identical to serial
@@ -202,7 +254,7 @@ def run_sweep(
     store = _as_cache(cache)
 
     reports: list[RunReport | None] = [None] * len(specs)
-    pending: list[tuple[int, AbcastRunSpec]] = []
+    pending: list[tuple[int, AbcastRunSpec | RsmRunSpec]] = []
     hits = 0
     for index, spec in enumerate(specs):
         cached = store.get(spec) if store is not None else None

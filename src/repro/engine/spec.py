@@ -43,6 +43,7 @@ __all__ = [
     "ClusterSpec",
     "AbcastRunSpec",
     "ConsensusRunSpec",
+    "RsmRunSpec",
     "spec_from_dict",
     "PAPER_LAN",
     "PAPER_THROUGHPUTS",
@@ -312,11 +313,119 @@ class ConsensusRunSpec:
         return _hash_payload("consensus", body)
 
 
-def spec_from_dict(data: dict) -> "AbcastRunSpec | ConsensusRunSpec":
+@dataclass(frozen=True)
+class RsmRunSpec:
+    """One replicated-state-machine service run (see :mod:`repro.rsm`).
+
+    ``clients`` sessions drive ``n`` replicas of a KV state machine over the
+    named abcast protocol.  ``rate`` is the aggregate client op rate for the
+    open-loop workload; for the closed-loop workload it sets the per-session
+    think time (``clients / rate``) so the offered load is comparable.
+    ``crash_at`` crashes replicas mid-run; each crashed replica rejoins as a
+    learner ``recover_after`` seconds later (``None`` disables recovery),
+    restoring its latest snapshot and replaying the suffix from survivors.
+    """
+
+    protocol: str
+    rate: float
+    duration: float
+    n: int = 4
+    clients: int = 8
+    seed: int = 0
+    warmup: float = 0.0
+    drain: float = 1.5
+    workload: str = "open"
+    keys: int = 32
+    batch_max: int = 8
+    batch_delay: float = 2e-3
+    snapshot_every: int = 25
+    catchup_interval: float = 0.02
+    failover_delay: float = 5e-3
+    recover_after: float | None = 0.25
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    crash_at: tuple[tuple[int, float], ...] = ()
+    check: bool = True
+    max_events: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or self.duration <= 0:
+            raise ConfigurationError("rate and duration must be positive")
+        if self.workload not in ("open", "closed"):
+            raise ConfigurationError(f"unknown workload {self.workload!r}")
+        if self.n < 2:
+            raise ConfigurationError("an RSM service needs at least two replicas")
+        if self.clients < 1:
+            raise ConfigurationError("need at least one client session")
+        if len(self.crash_at) >= self.n:
+            raise ConfigurationError("cannot crash every replica")
+
+    @property
+    def horizon(self) -> float:
+        return self.duration + self.drain
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "rsm",
+            "protocol": self.protocol,
+            "rate": self.rate,
+            "duration": self.duration,
+            "n": self.n,
+            "clients": self.clients,
+            "seed": self.seed,
+            "warmup": self.warmup,
+            "drain": self.drain,
+            "workload": self.workload,
+            "keys": self.keys,
+            "batch_max": self.batch_max,
+            "batch_delay": self.batch_delay,
+            "snapshot_every": self.snapshot_every,
+            "catchup_interval": self.catchup_interval,
+            "failover_delay": self.failover_delay,
+            "recover_after": self.recover_after,
+            "cluster": self.cluster.to_dict(),
+            "crash_at": [list(item) for item in self.crash_at],
+            "check": self.check,
+            "max_events": self.max_events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RsmRunSpec":
+        return cls(
+            protocol=data["protocol"],
+            rate=data["rate"],
+            duration=data["duration"],
+            n=data["n"],
+            clients=data["clients"],
+            seed=data["seed"],
+            warmup=data["warmup"],
+            drain=data["drain"],
+            workload=data["workload"],
+            keys=data["keys"],
+            batch_max=data["batch_max"],
+            batch_delay=data["batch_delay"],
+            snapshot_every=data["snapshot_every"],
+            catchup_interval=data["catchup_interval"],
+            failover_delay=data["failover_delay"],
+            recover_after=data["recover_after"],
+            cluster=ClusterSpec.from_dict(data["cluster"]),
+            crash_at=tuple((pid, at) for pid, at in data["crash_at"]),
+            check=data["check"],
+            max_events=data["max_events"],
+        )
+
+    def cache_key(self) -> str:
+        body = self.to_dict()
+        del body["kind"]
+        return _hash_payload("rsm", body)
+
+
+def spec_from_dict(data: dict) -> "AbcastRunSpec | ConsensusRunSpec | RsmRunSpec":
     """Rebuild a spec from its JSON dict form (inverse of ``to_dict``)."""
     kind = data.get("kind")
     if kind == "abcast":
         return AbcastRunSpec.from_dict(data)
     if kind == "consensus":
         return ConsensusRunSpec.from_dict(data)
+    if kind == "rsm":
+        return RsmRunSpec.from_dict(data)
     raise ConfigurationError(f"unknown spec kind {kind!r}")

@@ -56,5 +56,11 @@ class TotalOrderViolation(ProtocolViolation):
     """Two processes a-delivered the same messages in incompatible orders."""
 
 
+class LinearizabilityViolation(ProtocolViolation):
+    """A client-observed result is inconsistent with any linearization of the
+    committed command history (e.g. a read returned a value the replayed
+    per-key history cannot produce at its commit point)."""
+
+
 class TerminationFailure(ReproError):
     """A run that was expected to decide/deliver did not do so within its horizon."""

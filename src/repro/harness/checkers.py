@@ -14,6 +14,7 @@ from typing import Any, Hashable, Iterable, Mapping, Sequence
 from repro.errors import (
     AgreementViolation,
     IntegrityViolation,
+    LinearizabilityViolation,
     TotalOrderViolation,
     ValidityViolation,
 )
@@ -24,6 +25,10 @@ __all__ = [
     "check_uniform_total_order",
     "check_abcast_integrity",
     "check_abcast_validity",
+    "check_rsm_exactly_once",
+    "check_rsm_session_order",
+    "check_rsm_log_consistent",
+    "check_rsm_linearizable",
 ]
 
 
@@ -91,3 +96,84 @@ def check_uniform_total_order(deliveries: Mapping[int, Sequence[Hashable]]) -> N
                     f"position {index}: p{pid_a} a-delivered {item!r} "
                     f"but p{pid_b} a-delivered {longer[index]!r}"
                 )
+
+
+# ------------------------------------------------------- RSM service guarantees
+#
+# The RSM layer (repro.rsm) adds client-visible guarantees on top of abcast's
+# total order: exactly-once application of retried requests, per-session
+# program order, index-aligned log agreement (replicas may *start* at
+# different indices after a snapshot install, but never disagree at a shared
+# index), and linearizability of the per-key histories.
+
+
+def check_rsm_exactly_once(applied: Mapping[int, Sequence[tuple[int, int]]]) -> None:
+    """Exactly-once: no replica applies the same (session, seq) twice."""
+    for pid, rids in applied.items():
+        seen: set[tuple[int, int]] = set()
+        for rid in rids:
+            if rid in seen:
+                raise IntegrityViolation(
+                    f"replica {pid} applied request {rid!r} twice"
+                )
+            seen.add(rid)
+
+
+def check_rsm_session_order(applied: Mapping[int, Sequence[tuple[int, int]]]) -> None:
+    """Session order: each session's seqs appear strictly increasing."""
+    for pid, rids in applied.items():
+        last: dict[int, int] = {}
+        for session, seq in rids:
+            prev = last.get(session)
+            if prev is not None and seq <= prev:
+                raise TotalOrderViolation(
+                    f"replica {pid} applied session {session} seq {seq} "
+                    f"after seq {prev} (session order violated)"
+                )
+            last[session] = seq
+
+
+def check_rsm_log_consistent(
+    indexed: Mapping[int, Sequence[tuple[int, tuple[int, int]]]]
+) -> None:
+    """Log agreement: replicas agree on the request at every shared index.
+
+    ``indexed`` maps pid -> [(apply_index, (session, seq)), ...].  Unlike the
+    prefix check for abcast deliveries, logs are aligned by *index*: a
+    recovered learner's log starts at its installed snapshot index, so its
+    entries compare against the same absolute positions at the survivors.
+    """
+    canonical: dict[int, tuple[tuple[int, int], int]] = {}
+    for pid, entries in indexed.items():
+        for index, rid in entries:
+            known = canonical.get(index)
+            if known is None:
+                canonical[index] = (rid, pid)
+            elif known[0] != rid:
+                raise AgreementViolation(
+                    f"log index {index}: replica {pid} applied {rid!r} "
+                    f"but replica {known[1]} applied {known[0]!r}"
+                )
+
+
+def check_rsm_linearizable(
+    entries: Sequence[tuple[Any, Any]], machine: Any
+) -> None:
+    """Linearizability of the committed history, validated by replay.
+
+    ``entries`` is the authoritative apply order as (command, observed
+    result) pairs; ``machine`` is a *fresh* state machine of the same type
+    the replicas ran.  Commands take effect atomically at their apply point,
+    which lies between the client's submit and its response, and the total
+    order respects per-session submission order (checked separately) — so
+    the history is linearizable iff every observed result (including reads
+    and CAS outcomes) matches what the deterministic replay produces at the
+    same point.
+    """
+    for position, (command, observed) in enumerate(entries):
+        replayed = machine.apply(command)
+        if replayed != observed:
+            raise LinearizabilityViolation(
+                f"apply #{position + 1} ({command!r}): committed result was "
+                f"{observed!r} but the linearized replay yields {replayed!r}"
+            )

@@ -1,0 +1,84 @@
+"""Size- and time-triggered command batching.
+
+One consensus instance per client command wastes the coordination cost on a
+single operation; real SMR systems amortise it by packing many commands into
+one proposal.  The batcher collects submitted requests and flushes them as a
+single atomic-broadcast payload when either trigger fires:
+
+* **size** — the batch reached ``max_batch`` requests (flush immediately);
+* **time** — ``max_delay`` seconds elapsed since the first request of the
+  batch arrived (bounds the latency a lone request can be held hostage).
+
+The batcher owns no clock; it runs on the hosting replica's environment
+timers, so flush scheduling is charged and cancelled exactly like any other
+protocol timer (a crash silently drops a pending batch — clients retry).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.rsm.session import Request
+
+__all__ = ["Batcher", "BATCH_TIMER"]
+
+#: Plain timer name the batcher arms on its host environment.
+BATCH_TIMER = "rsm-batch-flush"
+
+
+class Batcher:
+    """Accumulate requests, emit ``tuple(requests)`` batches into a sink."""
+
+    def __init__(
+        self,
+        env,
+        sink: Callable[[tuple[Request, ...]], None],
+        max_batch: int = 8,
+        max_delay: float = 2e-3,
+    ) -> None:
+        if max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        if max_delay < 0:
+            raise ConfigurationError("max_delay must be >= 0")
+        self._env = env
+        self._sink = sink
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._pending: list[Request] = []
+        self.flushes = 0
+        self.batched_requests = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def add(self, request: Request) -> None:
+        """Queue one request; flush if the size trigger fires."""
+        self._pending.append(request)
+        if len(self._pending) >= self.max_batch:
+            self.flush()
+        elif len(self._pending) == 1 and self.max_delay > 0:
+            self._env.set_timer(BATCH_TIMER, self.max_delay)
+        elif self.max_delay == 0:
+            self.flush()
+
+    def on_timer(self, name: Any) -> bool:
+        """Handle the flush timer; returns True if the timer was ours."""
+        if name != BATCH_TIMER:
+            return False
+        self.flush()
+        return True
+
+    def flush(self) -> None:
+        """Emit the pending batch (no-op when empty)."""
+        if not self._pending:
+            return
+        batch = tuple(self._pending)
+        self._pending.clear()
+        self._env.cancel_timer(BATCH_TIMER)
+        self.flushes += 1
+        self.batched_requests += len(batch)
+        self._sink(batch)
+
+    def pending(self) -> Sequence[Request]:
+        return tuple(self._pending)

@@ -1,0 +1,117 @@
+"""State machines replicated by the RSM layer.
+
+The paper opens with the observation that atomic broadcast "is at the core
+of state machine replication": once commands are a-delivered in a single
+total order, applying them through a *deterministic* state machine keeps
+every replica's state identical.  This module defines the contract that
+determinism rests on and a reference machine — a key-value store — used by
+the service-level experiments and the examples.
+
+Determinism contract (what :class:`RsmReplica` relies on):
+
+* :meth:`StateMachine.apply` must be a pure function of (current state,
+  command) — no clocks, no randomness, no I/O;
+* :meth:`StateMachine.snapshot` / :meth:`StateMachine.install` must
+  round-trip the full state, so a replica restored from a snapshot is
+  indistinguishable from one that replayed the log;
+* :meth:`StateMachine.digest` must be a stable fingerprint of the state —
+  two replicas with equal digests hold equal state.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Command", "StateMachine", "KvStore", "OPS"]
+
+#: Operations understood by the reference KV machine.
+OPS = ("set", "get", "del", "cas")
+
+
+@dataclass(frozen=True, slots=True)
+class Command:
+    """One state-machine command.
+
+    For the KV machine: ``set key value``, ``get key``, ``del key`` and
+    ``cas key expect value`` (write ``value`` iff the current value equals
+    ``expect``).  Payloads stay plain strings so commands serialise cleanly
+    through the network byte accounting and into JSON reports.
+    """
+
+    op: str
+    key: str
+    value: str | None = None
+    expect: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ConfigurationError(f"unknown op {self.op!r}; choices: {OPS}")
+
+
+class StateMachine(abc.ABC):
+    """Deterministic command-application contract for replicated services."""
+
+    @abc.abstractmethod
+    def apply(self, command: Command) -> Any:
+        """Apply ``command`` and return its result (must be deterministic)."""
+
+    @abc.abstractmethod
+    def snapshot(self) -> Any:
+        """Serialisable copy of the full state (safe to hand to peers)."""
+
+    @abc.abstractmethod
+    def install(self, state: Any) -> None:
+        """Replace the state with a previously taken :meth:`snapshot`."""
+
+    @abc.abstractmethod
+    def digest(self) -> str:
+        """Stable fingerprint of the state; equal digests ⇒ equal state."""
+
+
+class KvStore(StateMachine):
+    """The reference machine: a string→string map with SET/GET/DEL/CAS.
+
+    Results are what a client would see at commit time: ``set`` echoes the
+    written value, ``get`` returns the current value (or None), ``del``
+    returns the removed value (or None), ``cas`` returns True/False for
+    applied/failed.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[str, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def items(self) -> list[tuple[str, str]]:
+        return sorted(self._data.items())
+
+    def apply(self, command: Command) -> Any:
+        op = command.op
+        if op == "set":
+            self._data[command.key] = command.value
+            return command.value
+        if op == "get":
+            return self._data.get(command.key)
+        if op == "del":
+            return self._data.pop(command.key, None)
+        # cas: compare-and-set against the *committed* value at apply time.
+        if self._data.get(command.key) == command.expect:
+            self._data[command.key] = command.value
+            return True
+        return False
+
+    def snapshot(self) -> dict[str, str]:
+        return dict(self._data)
+
+    def install(self, state: dict[str, str]) -> None:
+        self._data = dict(state)
+
+    def digest(self) -> str:
+        material = repr(sorted(self._data.items())).encode("utf-8")
+        return hashlib.sha256(material).hexdigest()

@@ -1,0 +1,392 @@
+"""Execute one RSM service run: cluster, clients, crashes, recovery, checks.
+
+:func:`run_rsm` is to :class:`~repro.engine.spec.RsmRunSpec` what
+``run_abcast`` is to ``AbcastRunSpec``: it builds a fresh simulated cluster
+of :class:`~repro.rsm.replica.RsmReplica` nodes over the named abcast
+protocol, drives the client sessions, injects the scripted crashes (each
+crashed replica rejoins as a learner after ``recover_after``), runs to the
+horizon and validates the service-level guarantees:
+
+* abcast total order over the survivors' delivery sequences;
+* exactly-once + session order + index-aligned log agreement over every
+  replica's applied log (learner included);
+* linearizability of the committed history, by deterministic replay;
+* recovery convergence — each rejoined learner's state digest must equal
+  the survivors' at drain;
+* client termination — every submitted request is eventually acknowledged.
+
+:func:`service_metrics` distils a finished run into the JSON-safe metrics
+section carried by ``RunReport.rsm`` (committed-ops/s, commit-latency
+percentiles, batch-size distribution, apply lag, snapshot accounting,
+dedup/retry counters, recovery summary).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine.spec import RsmRunSpec
+from repro.errors import ConfigurationError, LinearizabilityViolation, TerminationFailure
+from repro.fd.oracle import OracleFailureDetector
+from repro.harness.checkers import (
+    check_rsm_exactly_once,
+    check_rsm_linearizable,
+    check_rsm_log_consistent,
+    check_rsm_session_order,
+    check_uniform_total_order,
+)
+from repro.harness.registry import ABCAST, get_protocol
+from repro.rsm.client import CommandStream, ServingSet, SessionDriver
+from repro.rsm.machine import KvStore
+from repro.rsm.replica import RsmReplica
+from repro.rsm.session import Request
+from repro.sim.kernel import Simulator, derive_seed
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.storage import StorageFabric
+from repro.workload.metrics import _percentile, summarize
+
+__all__ = ["RsmRunResult", "run_rsm", "service_metrics"]
+
+
+@dataclass
+class RsmRunResult:
+    """Everything a finished RSM run exposes to metrics and tests."""
+
+    spec: RsmRunSpec
+    replicas: dict[int, RsmReplica]          # final incarnation per pid
+    first_lives: dict[int, RsmReplica]       # pre-crash incarnations
+    learners: dict[int, RsmReplica]          # rejoined replicas (subset)
+    drivers: dict[int, Any]                  # session -> SessionDriver
+    authority: int                           # pid of the reference survivor
+    crashed: list[int]
+    duration: float
+    network_stats: dict
+    linearizable: bool
+    sim: Simulator = field(repr=False)
+    nodes: dict[int, Node] = field(repr=False, default_factory=dict)
+
+    @property
+    def committed(self) -> int:
+        return self.replicas[self.authority].applied_index
+
+    def digests(self) -> dict[int, str]:
+        return {pid: replica.digest() for pid, replica in self.replicas.items()}
+
+
+def _build_arrivals(spec: RsmRunSpec, session: int) -> list[float]:
+    """Open-loop Poisson plan for one session (aggregate rate split evenly)."""
+    rng = random.Random(derive_seed(spec.seed, "rsm-arrivals", session))
+    per_session = spec.rate / spec.clients
+    t = 0.0
+    plan: list[float] = []
+    while True:
+        t += rng.expovariate(per_session)
+        if t >= spec.duration:
+            return plan
+        plan.append(t)
+
+
+def run_rsm(spec: RsmRunSpec, tracer=None) -> RsmRunResult:
+    """Run one RSM service spec on a fresh simulated cluster."""
+    info = get_protocol(spec.protocol, kind=ABCAST)
+    cluster = spec.cluster
+    pids = list(range(spec.n))
+    for pid, _ in spec.crash_at:
+        if pid not in pids:
+            raise ConfigurationError(f"crash_at names unknown replica {pid}")
+
+    sim = Simulator(seed=spec.seed)
+    network = Network(
+        sim,
+        delay=cluster.delay,
+        datagram_delay=cluster.datagram_delay,
+        datagram_loss=cluster.datagram_loss,
+        capacity=cluster.capacity,
+    )
+    oracle = OracleFailureDetector(
+        sim,
+        pids,
+        detection_delay=cluster.detection_delay,
+        initially_crashed=cluster.initially_crashed,
+    )
+    fabric = StorageFabric()
+
+    def make_serving(pid: int) -> RsmReplica:
+        return RsmReplica(
+            machine=KvStore(),
+            store=fabric.store(pid),
+            module_factory=lambda host, env, pid=pid: info.factory(
+                pid, env, oracle, host
+            ),
+            batch_max=spec.batch_max,
+            batch_delay=spec.batch_delay,
+            snapshot_every=spec.snapshot_every,
+            catchup_interval=spec.catchup_interval,
+            tracer=tracer,
+        )
+
+    replicas: dict[int, RsmReplica] = {}
+    nodes: dict[int, Node] = {}
+    for pid in pids:
+        replica = make_serving(pid)
+        replicas[pid] = replica
+        nodes[pid] = Node(
+            sim, network, pid, pids, replica, service_time=cluster.service_time
+        )
+        # Crash-only oracle wiring: a replica that rejoins does so as a
+        # learner outside the broadcast protocol, so the failure detector
+        # must keep treating it as crashed (re-electing a recovered pid as
+        # Ω leader would stall consensus behind a non-participant).
+        nodes[pid].add_crash_listener(oracle.on_crash)
+
+    for pid in cluster.initially_crashed:
+        nodes[pid].crash()
+    for pid, node in nodes.items():
+        if pid not in cluster.initially_crashed:
+            node.start()
+
+    # ------------------------------------------------------------ client side
+    serving = ServingSet(pid for pid in pids if pid not in cluster.initially_crashed)
+    serving_pids = serving.pids()
+    think = spec.clients / spec.rate
+    drivers: dict[int, SessionDriver] = {}
+    for session in range(spec.clients):
+        drivers[session] = SessionDriver(
+            session=session,
+            home=serving_pids[session % len(serving_pids)],
+            nodes=nodes,
+            replicas=replicas,
+            serving=serving,
+            stream=CommandStream(session, spec.seed, spec.keys),
+            duration=spec.duration,
+            mode=spec.workload,
+            arrivals=_build_arrivals(spec, session) if spec.workload == "open" else (),
+            think_time=think if spec.workload == "closed" else 0.0,
+            start_at=think * (session + 1) / spec.clients,
+            failover_delay=spec.failover_delay,
+        )
+
+    def route_commit(pid: int, request: Request, result: Any, at: float) -> None:
+        driver = drivers.get(request.session)
+        if driver is not None:
+            driver.on_commit(pid, request, result, at)
+
+    for replica in replicas.values():
+        replica.add_commit_listener(route_commit)
+
+    def on_mid_run_crash(pid: int) -> None:
+        serving.remove(pid)
+        for driver in drivers.values():
+            driver.on_replica_crash(pid, sim.now)
+
+    for node in nodes.values():
+        node.add_crash_listener(on_mid_run_crash)
+    for driver in drivers.values():
+        driver.start()
+
+    # --------------------------------------------------- faults and recovery
+    first_lives = dict(replicas)
+    learners: dict[int, RsmReplica] = {}
+    for pid, at in spec.crash_at:
+        nodes[pid].crash_at(at)
+        if spec.recover_after is not None:
+
+            def rebuild(pid: int = pid) -> RsmReplica:
+                learner = RsmReplica(
+                    machine=KvStore(),
+                    store=fabric.store(pid),
+                    module_factory=None,
+                    snapshot_every=spec.snapshot_every,
+                    catchup_interval=spec.catchup_interval,
+                    tracer=tracer,
+                )
+                learners[pid] = learner
+                replicas[pid] = learner
+                return learner
+
+            nodes[pid].recover_at(at + spec.recover_after, rebuild)
+
+    sim.run(until=spec.horizon, max_events=spec.max_events)
+
+    # ------------------------------------------------------------ validation
+    crashed = sorted(
+        set(pid for pid, _ in spec.crash_at) | set(cluster.initially_crashed)
+    )
+    survivors = serving.pids()
+    if not survivors:
+        raise TerminationFailure("no serving replica survived the run")
+    authority = min(
+        survivors, key=lambda pid: (-replicas[pid].applied_index, pid)
+    )
+    auth = replicas[authority]
+
+    linearizable = True
+    try:
+        check_rsm_linearizable(
+            [(entry.request.command, entry.result) for entry in auth.audit],
+            KvStore(),
+        )
+    except LinearizabilityViolation:
+        if spec.check:
+            raise
+        linearizable = False
+
+    if spec.check:
+        check_uniform_total_order(
+            {pid: replicas[pid].abcast.delivered_ids for pid in survivors}
+        )
+        audited = {
+            pid: [entry.request.rid for entry in replicas[pid].audit]
+            for pid in (*survivors, *learners)
+        }
+        check_rsm_exactly_once(audited)
+        check_rsm_session_order(audited)
+        check_rsm_log_consistent(
+            {
+                pid: [
+                    (entry.index, entry.request.rid)
+                    for entry in replicas[pid].audit
+                ]
+                for pid in (*survivors, *learners)
+            }
+        )
+        for pid in survivors:
+            if replicas[pid].digest() != auth.digest():
+                raise TerminationFailure(
+                    f"survivor {pid} diverged from replica {authority} at drain"
+                )
+        for pid, learner in learners.items():
+            if learner.digest() != auth.digest():
+                raise TerminationFailure(
+                    f"recovered replica {pid} did not converge by the horizon "
+                    f"(applied {learner.applied_index}/{auth.applied_index})"
+                )
+        unacked = {
+            session: sorted(driver.pending)
+            for session, driver in drivers.items()
+            if driver.pending
+        }
+        if unacked:
+            raise TerminationFailure(
+                f"requests never acknowledged within the horizon: {unacked}"
+            )
+
+    return RsmRunResult(
+        spec=spec,
+        replicas=replicas,
+        first_lives=first_lives,
+        learners=learners,
+        drivers=drivers,
+        authority=authority,
+        crashed=crashed,
+        duration=sim.now,
+        network_stats=network.stats.snapshot(),
+        linearizable=linearizable,
+        sim=sim,
+        nodes=nodes,
+    )
+
+
+def window_commit_latencies(result: RsmRunResult) -> tuple[int, list[float]]:
+    """(offered, latencies) over requests submitted in ``[warmup, duration]``.
+
+    ``offered`` counts first submissions inside the window; a latency sample
+    is the client-observed delay from first submission to the home replica's
+    commit acknowledgement (retries therefore *lengthen* the sample rather
+    than resetting it).
+    """
+    spec = result.spec
+    offered = 0
+    latencies: list[float] = []
+    for driver in result.drivers.values():
+        for submit_at, ack_at in driver.latencies():
+            if spec.warmup <= submit_at <= spec.duration:
+                offered += 1
+                latencies.append(ack_at - submit_at)
+        for record in driver.pending.values():
+            if spec.warmup <= record.submit_at <= spec.duration:
+                offered += 1
+    return offered, latencies
+
+
+def service_metrics(result: RsmRunResult) -> dict:
+    """JSON-safe service-level metrics section (``RunReport.rsm``)."""
+    spec = result.spec
+    auth = result.replicas[result.authority]
+    offered, latencies = window_commit_latencies(result)
+    window = spec.duration - spec.warmup
+
+    ordered = sorted(latencies)
+    if ordered:
+        latency_ms = {
+            "mean": summarize(ordered).scaled(1e3).mean,
+            "p50": _percentile(ordered, 0.50) * 1e3,
+            "p95": _percentile(ordered, 0.95) * 1e3,
+            "p99": _percentile(ordered, 0.99) * 1e3,
+        }
+    else:
+        latency_ms = None
+
+    batch_sizes = auth.batch_sizes
+    batches = {
+        "count": len(batch_sizes),
+        "mean_size": (sum(batch_sizes) / len(batch_sizes)) if batch_sizes else 0.0,
+        "max_size": max(batch_sizes, default=0),
+    }
+
+    # Apply lag: spread of apply times for the same index across survivors.
+    survivors = [pid for pid in result.replicas if pid not in result.crashed]
+    times_by_index: dict[int, list[float]] = {}
+    for pid in survivors:
+        for entry in result.replicas[pid].audit:
+            times_by_index.setdefault(entry.index, []).append(entry.at)
+    lags = [
+        max(times) - min(times)
+        for times in times_by_index.values()
+        if len(times) == len(survivors)
+    ]
+    apply_lag_ms = (
+        {"mean": sum(lags) / len(lags) * 1e3, "max": max(lags) * 1e3}
+        if lags
+        else None
+    )
+
+    snapshot_lives = list(result.first_lives.values()) + list(
+        result.learners.values()
+    )
+    recovery = {
+        str(pid): {
+            "installed_index": learner.recovered_from_index,
+            "replayed": learner.replayed,
+            "snapshot_installs": learner.snapshot_installs,
+            "digest_match": learner.digest() == auth.digest(),
+        }
+        for pid, learner in result.learners.items()
+    }
+
+    return {
+        "committed": auth.applied_index,
+        "offered_window": offered,
+        "committed_window": len(latencies),
+        "ops_per_s": (len(latencies) / window) if window > 0 else 0.0,
+        "latency_ms": latency_ms,
+        "batches": batches,
+        "apply_lag_ms": apply_lag_ms,
+        "snapshots": {
+            "taken": sum(r.snapshots_taken for r in snapshot_lives),
+            "bytes": sum(r.snapshot_bytes for r in snapshot_lives),
+            "last_index": auth.last_snapshot_index,
+        },
+        "dedup": {
+            "suppressed": auth.dedup.suppressed,
+            "retries": sum(d.retries for d in result.drivers.values()),
+        },
+        "sessions": spec.clients,
+        "crashed": list(result.crashed),
+        "recovery": recovery,
+        "digest": auth.digest(),
+        "linearizable": result.linearizable,
+    }

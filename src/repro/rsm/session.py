@@ -1,0 +1,78 @@
+"""Client sessions and server-side deduplication.
+
+Exactly-once semantics in a replicated service is a contract between two
+sides: clients tag every request with a per-session sequence number and only
+retry the *same* (session, seq) pair, and replicas keep a dedup table that
+filters re-proposed requests after they already committed.  Because the
+dedup check runs inside :meth:`RsmReplica._apply` — i.e. *after* total-order
+delivery — every replica makes the identical keep/drop decision, and a
+request retried across a leader crash is applied exactly once everywhere.
+
+The dedup table only needs the *latest* sequence number per session (plus
+its cached result for client re-reads): sessions submit sequence numbers in
+order and the total order preserves per-session submission order, so a
+request is a duplicate iff its seq is not newer than the session's
+high-water mark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.rsm.machine import Command
+
+__all__ = ["Request", "DedupTable"]
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One client command wrapped for replication.
+
+    ``(session, seq)`` is the exactly-once identity: retries reuse it
+    verbatim, and the dedup table collapses them to a single application.
+    """
+
+    session: int
+    seq: int
+    command: Command
+
+    @property
+    def rid(self) -> tuple[int, int]:
+        return (self.session, self.seq)
+
+
+class DedupTable:
+    """Per-session high-water marks with cached last results."""
+
+    def __init__(self) -> None:
+        self._latest: dict[int, tuple[int, Any]] = {}
+        self.suppressed = 0
+
+    def is_duplicate(self, session: int, seq: int) -> bool:
+        entry = self._latest.get(session)
+        return entry is not None and seq <= entry[0]
+
+    def record(self, session: int, seq: int, result: Any) -> None:
+        self._latest[session] = (seq, result)
+
+    def note_suppressed(self) -> None:
+        self.suppressed += 1
+
+    def cached_result(self, session: int, seq: int) -> Any:
+        """The stored result for a session's latest applied request."""
+        entry = self._latest.get(session)
+        if entry is not None and entry[0] == seq:
+            return entry[1]
+        return None
+
+    # ------------------------------------------------------- snapshot support
+
+    def snapshot(self) -> dict[int, tuple[int, Any]]:
+        return dict(self._latest)
+
+    def install(self, state: dict[int, tuple[int, Any]]) -> None:
+        self._latest = {int(k): (v[0], v[1]) for k, v in state.items()}
+
+    def __len__(self) -> int:
+        return len(self._latest)

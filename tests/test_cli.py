@@ -1,10 +1,14 @@
 """Tests for the command-line interface and the ASCII chart renderer."""
 
+import json
+
 import pytest
 
+from repro import __version__
 from repro.analysis.textplot import line_chart
 from repro.cli import build_parser, main
 from repro.errors import ConfigurationError
+from repro.harness.registry import PROTOCOLS
 
 
 class TestTextPlot:
@@ -185,3 +189,85 @@ class TestCli:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_protocols_command_lists_registry(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        for name, info in PROTOCOLS.items():
+            assert name in out and info.kind in out
+
+    def test_rsm_command(self, capsys):
+        code = main(
+            [
+                "rsm",
+                "--protocol",
+                "cabcast-l",
+                "--n",
+                "4",
+                "--clients",
+                "4",
+                "--rate",
+                "150",
+                "--duration",
+                "0.6",
+                "--crash",
+                "2@0.3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "protocol : cabcast-l (n=4, 4 sessions" in out
+        assert "committed:" in out and "batching :" in out
+        assert "crashed  : [2]" in out
+        assert "p2 rejoined from snapshot index" in out
+        assert "state matches" in out
+        assert "linearizable=true" in out
+
+    def test_rsm_json_is_deterministic(self, capsys):
+        argv = [
+            "rsm",
+            "--protocol",
+            "cabcast-l",
+            "--clients",
+            "4",
+            "--rate",
+            "150",
+            "--duration",
+            "0.5",
+            "--json",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        doc = json.loads(first)
+        assert doc["spec"]["kind"] == "rsm"
+        assert doc["rsm"]["linearizable"] is True
+
+    def test_rsm_recovery_can_be_disabled(self, capsys):
+        code = main(
+            [
+                "rsm",
+                "--clients",
+                "4",
+                "--rate",
+                "150",
+                "--duration",
+                "0.5",
+                "--crash",
+                "1@0.25",
+                "--recover-after",
+                "-1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "crashed  : [1]" in out
+        assert "rejoined" not in out

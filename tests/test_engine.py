@@ -156,6 +156,50 @@ class TestResultCache:
         cache.path_for(spec.cache_key()).write_text(json.dumps({"schema": "other"}))
         assert cache.get(spec) is None
 
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = quick_spec()
+        cache.put(execute_run(spec))
+        path = cache.path_for(spec.cache_key())
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache.get(spec) is None
+
+    def test_poisoned_report_body_is_a_miss(self, tmp_path):
+        # Valid JSON, matching spec — but the report body no longer decodes.
+        cache = ResultCache(tmp_path)
+        spec = quick_spec()
+        cache.put(execute_run(spec))
+        path = cache.path_for(spec.cache_key())
+        data = json.loads(path.read_text())
+        data["summary"] = "not-a-summary"
+        path.write_text(json.dumps(data))
+        assert cache.get(spec) is None
+
+    def test_undecodable_stored_spec_is_a_miss(self, tmp_path):
+        # A hand-edited or version-skewed spec raises ConfigurationError on
+        # decode; the cache must treat that as a miss, not crash.
+        cache = ResultCache(tmp_path)
+        spec = quick_spec()
+        cache.put(execute_run(spec))
+        path = cache.path_for(spec.cache_key())
+        data = json.loads(path.read_text())
+        data["spec"]["kind"] = "mystery"
+        path.write_text(json.dumps(data))
+        assert cache.get(spec) is None
+        with pytest.raises(ConfigurationError):
+            RunReport.from_dict(data)
+
+    def test_sweep_reruns_poisoned_entry(self, tmp_path):
+        spec = quick_spec()
+        run_sweep([spec], cache=tmp_path)
+        cache = ResultCache(tmp_path)
+        cache.path_for(spec.cache_key()).write_text("{\"schema\":")
+        sweep = run_sweep([spec], cache=tmp_path)
+        assert (sweep.cache_hits, sweep.cache_misses) == (0, 1)
+        assert sweep.reports[0].delivered > 0
+        # The re-run repaired the entry in place.
+        assert (run_sweep([spec], cache=tmp_path).cache_hits) == 1
+
 
 class TestRunSweep:
     def grid(self):

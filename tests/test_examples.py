@@ -29,6 +29,11 @@ class TestExamples:
         proc = run_example("replicated_kv_store.py")
         assert proc.returncode == 0, proc.stderr
         assert "survivor stores are identical" in proc.stdout
+        # Crash recovery is real: the rejoined learner's state digest equals
+        # the survivors' and it replayed a suffix, not the whole log.
+        assert "rejoined digest equals survivors' digest: True" in proc.stdout
+        assert "snapshot recovery, not full replay" in proc.stdout
+        assert "history linearizable: True" in proc.stdout
 
     def test_crash_recovery(self):
         proc = run_example("crash_recovery.py")
