@@ -70,6 +70,19 @@ _EXPORTS = {
     # observability
     "PerfReport": "repro.perf",
     "profile_call": "repro.perf",
+    "ObsConfig": "repro.obs",
+    "ObsRuntime": "repro.obs",
+    "SpanBuilder": "repro.obs",
+    "ConsensusSpan": "repro.obs",
+    "BroadcastSpan": "repro.obs",
+    "FlightRecorder": "repro.obs",
+    "MetricsRegistry": "repro.obs",
+    "export_jsonl": "repro.obs",
+    "export_chrome": "repro.obs",
+    "load_trace": "repro.obs",
+    "diff_traces": "repro.obs",
+    "KINDS": "repro.sim.trace",
+    "Tracer": "repro.sim.trace",
     # engine
     "AbcastRunSpec": "repro.engine",
     "ClusterSpec": "repro.engine",
@@ -154,8 +167,22 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     )
     from repro.harness import run_consensus
     from repro.harness.abcast_runner import run_abcast
+    from repro.obs import (
+        BroadcastSpan,
+        ConsensusSpan,
+        FlightRecorder,
+        MetricsRegistry,
+        ObsConfig,
+        ObsRuntime,
+        SpanBuilder,
+        diff_traces,
+        export_chrome,
+        export_jsonl,
+        load_trace,
+    )
     from repro.oracles import WabOracle
     from repro.perf import PerfReport, profile_call
+    from repro.sim.trace import KINDS, Tracer
     from repro.protocols import (
         BrasileiroConsensus,
         MultiPaxosAbcast,

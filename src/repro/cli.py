@@ -14,6 +14,10 @@
 * ``profile``   — one spec run with :mod:`repro.perf` observability:
   per-component event counts, events/sec, virtual-seconds per wall-second,
   optionally a cProfile hot-function table (``--cprofile``);
+* ``trace``     — observability traces (:mod:`repro.obs`): ``export`` runs a
+  spec with detailed tracing and writes JSONL or Chrome/Perfetto JSON;
+  ``summary`` and ``spans`` inspect an export; ``diff`` pinpoints the first
+  divergent record between two exports;
 * ``protocols`` — the protocol registry (name, kind, default n, description);
 * ``table1``    — the analytical Table 1 for a given group size;
 * ``theorem1``  — the executable Theorem-1 impossibility certificate.
@@ -197,6 +201,57 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the perf section (repro.perf.v1) to FILE",
     )
+
+    p_trace = sub.add_parser(
+        "trace", help="export, summarise, inspect and diff observability traces"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    t_export = trace_sub.add_parser(
+        "export", help="run one abcast spec with obs enabled and export its trace"
+    )
+    t_export.add_argument(
+        "--protocol", choices=protocol_names(ABCAST), default="cabcast-l"
+    )
+    t_export.add_argument("--n", type=int, default=4)
+    t_export.add_argument("--rate", type=float, default=100.0, help="aggregate msg/s")
+    t_export.add_argument("--duration", type=float, default=0.5)
+    t_export.add_argument("--seed", type=int, default=0)
+    t_export.add_argument(
+        "--crash",
+        action="append",
+        default=[],
+        metavar="PID@TIME",
+        help="crash PID at TIME seconds (repeatable)",
+    )
+    t_export.add_argument(
+        "--format",
+        choices=("jsonl", "chrome"),
+        default="jsonl",
+        help="jsonl (repro.trace.v1, diffable) or chrome (Perfetto timeline)",
+    )
+    t_export.add_argument("--out", required=True, metavar="FILE")
+
+    t_summary = trace_sub.add_parser(
+        "summary", help="per-kind counts and span summary of a JSONL trace"
+    )
+    t_summary.add_argument("file")
+    t_summary.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero if any kind falls outside the canonical vocabulary",
+    )
+
+    t_spans = trace_sub.add_parser(
+        "spans", help="reconstructed consensus and broadcast spans of a JSONL trace"
+    )
+    t_spans.add_argument("file")
+
+    t_diff = trace_sub.add_parser(
+        "diff", help="first divergence between two JSONL traces"
+    )
+    t_diff.add_argument("left")
+    t_diff.add_argument("right")
 
     sub.add_parser(
         "protocols", help="list the protocol registry (name, kind, n, description)"
@@ -466,6 +521,130 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_export(args: argparse.Namespace) -> int:
+    from repro.engine.runner import run_abcast_spec
+    from repro.obs import ObsRuntime, export_chrome, export_jsonl
+
+    spec = AbcastRunSpec(
+        protocol=args.protocol,
+        rate=args.rate,
+        duration=args.duration,
+        n=args.n,
+        seed=args.seed,
+        drain=2.0,
+        cluster=PAPER_LAN,
+        crash_at=_parse_crashes(args.crash),
+        obs=True,
+    )
+    obs = ObsRuntime.from_spec(spec)
+    run_abcast_spec(spec, tracer=obs.tracer, obs=obs)
+    writer = export_chrome if args.format == "chrome" else export_jsonl
+    with open(args.out, "w", encoding="utf-8") as fh:
+        count = writer(obs.tracer.records, fh, spec=spec.to_dict())
+    print(f"wrote    : {count} records to {args.out} ({args.format})")
+    return 0
+
+
+def _trace_summary(args: argparse.Namespace) -> int:
+    from repro.obs import SpanBuilder, load_trace
+    from repro.sim.trace import KINDS
+
+    header, rows = load_trace(args.file)
+    counts: dict[str, int] = {}
+    for row in rows:
+        counts[row[2]] = counts.get(row[2], 0) + 1
+    spec = header.get("spec") or {}
+    if spec:
+        print(f"spec     : {spec.get('protocol')} n={spec.get('n')} "
+              f"rate={spec.get('rate')} seed={spec.get('seed')}")
+    print(f"records  : {len(rows)}")
+    for kind in sorted(counts):
+        print(f"  {kind:<14} {counts[kind]}")
+    summary = SpanBuilder().add_rows(rows).summary()
+    print(f"consensus: {summary['decided']}/{summary['instances']} instances decided, "
+          f"{summary['fast_path']} fast-path, {summary['forwarded']} forwarded, "
+          f"max round {summary['max_round']}")
+    if summary["steps_histogram"]:
+        hist = ", ".join(
+            f"{steps} step(s) x{count}"
+            for steps, count in summary["steps_histogram"].items()
+        )
+        print(f"steps    : {hist}")
+    broadcasts = summary["broadcasts"]
+    if broadcasts["count"]:
+        line = f"broadcast: {broadcasts['count']} messages"
+        if "mean_latency" in broadcasts:
+            line += (f", {broadcasts['delivered']} delivered, "
+                     f"latency {broadcasts['min_latency'] * 1e3:.3f}-"
+                     f"{broadcasts['max_latency'] * 1e3:.3f} ms "
+                     f"(mean {broadcasts['mean_latency'] * 1e3:.3f} ms)")
+        print(line)
+    unknown = sorted(set(counts) - KINDS.ALL)
+    if unknown:
+        print(f"unknown kinds: {unknown}", file=sys.stderr)
+        if args.strict:
+            return 1
+    return 0
+
+
+def _trace_spans(args: argparse.Namespace) -> int:
+    from repro.obs import SpanBuilder, load_trace
+
+    _, rows = load_trace(args.file)
+    builder = SpanBuilder().add_rows(rows)
+    for span in builder.consensus_spans():
+        label = "consensus" if span.instance is None else f"consensus[{span.instance}]"
+        if span.decided:
+            duration = (
+                (span.decided_at - span.propose_at) * 1e3
+                if span.propose_at is not None
+                else float("nan")
+            )
+            print(f"p{span.pid} {label}: decided {span.decided_value!r} in "
+                  f"{span.steps} step(s) via {span.via} ({duration:.3f} ms)")
+        else:
+            print(f"p{span.pid} {label}: undecided after {len(span.rounds)} round(s)")
+        for entry in span.phase_breakdown():
+            phase = f" {entry['phase']}" if "phase" in entry else ""
+            print(f"    round {entry['round']}{phase}: "
+                  f"{entry['duration'] * 1e3:.3f} ms from t={entry['start'] * 1e3:.3f} ms")
+    for span in builder.broadcast_spans():
+        latency = span.latency
+        when = f"{latency * 1e3:.3f} ms" if latency is not None else "never delivered"
+        print(f"msg {span.msg_id}: origin p{span.origin}, "
+              f"{len(span.deliveries)} deliveries, first after {when}")
+    return 0
+
+
+def _trace_diff(args: argparse.Namespace) -> int:
+    from repro.obs import diff_traces, load_trace
+
+    _, left = load_trace(args.left)
+    _, right = load_trace(args.right)
+    divergence = diff_traces(left, right)
+    if divergence is None:
+        print(f"identical: {len(left)} records")
+        return 0
+    index, left_row, right_row = divergence
+    print(f"diverged at record {index}:")
+    for name, row in (("left", left_row), ("right", right_row)):
+        if row is None:
+            print(f"  {name:<5}: <absent — trace ends at record {index}>")
+        else:
+            time, pid, kind, data = row
+            print(f"  {name:<5}: t={time:.6f} pid={pid} kind={kind} data={data!r}")
+    return 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    return {
+        "export": _trace_export,
+        "summary": _trace_summary,
+        "spans": _trace_spans,
+        "diff": _trace_diff,
+    }[args.trace_command](args)
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     print(format_table1(args.n))
     return 0
@@ -486,6 +665,7 @@ _COMMANDS = {
     "rsm": _cmd_rsm,
     "sweep": _cmd_sweep,
     "profile": _cmd_profile,
+    "trace": _cmd_trace,
     "protocols": _cmd_protocols,
     "table1": _cmd_table1,
     "theorem1": _cmd_theorem1,

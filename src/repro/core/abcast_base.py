@@ -50,6 +50,14 @@ def deterministic_batch_order(batch: Iterable[AppMessage]) -> list[AppMessage]:
 class AbcastModule(abc.ABC):
     """Base class for atomic broadcast modules hosted inside a process."""
 
+    #: Detailed observability; ``None`` keeps the module silent.  Wrapper
+    #: protocols (C-Abcast spawning consensus instances) override
+    #: :meth:`enable_obs` to propagate the tracer to sub-modules.
+    tracer = None
+
+    def enable_obs(self, tracer) -> None:
+        self.tracer = tracer
+
     def __init__(
         self,
         env: Environment,

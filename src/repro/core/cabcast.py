@@ -85,12 +85,19 @@ class CAbcast(AbcastModule):
         else:
             self.wab.on_message(src, msg)
 
+    def enable_obs(self, tracer) -> None:
+        super().enable_obs(tracer)
+        for k, instance in self._instances.items():
+            instance.enable_obs(tracer, instance_label=k)
+
     def _instance(self, k: int) -> ConsensusModule:
         instance = self._instances.get(k)
         if instance is None:
             scoped = ScopedEnvironment(self.env, ("cons", k))
             instance = self._consensus_factory(scoped)
             instance.set_on_decide(lambda value, k=k: self._decided(k, value))
+            if self.tracer is not None:
+                instance.enable_obs(self.tracer, instance_label=k)
             self._instances[k] = instance
         return instance
 

@@ -52,6 +52,12 @@ class ConsensusModule(abc.ABC):
     #: broadcast/forward of task T2.
     announce_decide: bool = True
 
+    #: Detailed observability (propose / round-start / round-end records).
+    #: ``None`` keeps the module silent; :meth:`enable_obs` turns it on.
+    tracer = None
+    #: Label distinguishing concurrent instances (e.g. the C-Abcast slot k).
+    instance_label = None
+
     def __init__(self, env: Environment, on_decide: Callable[[Any], None] | None = None) -> None:
         self.env = env
         self._on_decide = on_decide
@@ -73,11 +79,22 @@ class ConsensusModule(abc.ABC):
             raise ConfigurationError("on_decide callback already set")
         self._on_decide = fn
 
+    def enable_obs(self, tracer, instance_label: Any = None) -> None:
+        """Turn on detailed tracing for this module (and any sub-modules).
+
+        Wrapper protocols that own an underlying consensus module override
+        this to propagate the tracer downward.
+        """
+        self.tracer = tracer
+        self.instance_label = instance_label
+
     def propose(self, value: Any) -> None:
         """Propose ``value``; may be called at most once per module."""
         if self._proposed:
             raise ConfigurationError("a consensus module accepts a single proposal")
         self._proposed = True
+        if self.tracer is not None:
+            self.tracer.emit_propose(self.env.now(), self.env.pid, value, self.instance_label)
         if self.decided:
             # A DECIDE arrived before we proposed (this process lagged); the
             # decision stands and there is nothing left to do.
@@ -103,6 +120,15 @@ class ConsensusModule(abc.ABC):
     def _on_protocol_message(self, src: int, msg: Any) -> None:
         """Handle a non-DECIDE protocol message."""
 
+    # --------------------------------------------------------------- tracing
+
+    def _emit_round_start(self, round_no: int, phase: str | None = None) -> None:
+        """Record a round (or named phase) transition when tracing is on."""
+        if self.tracer is not None:
+            self.tracer.emit_round_start(
+                self.env.now(), self.env.pid, round_no, self.instance_label, phase
+            )
+
     # -------------------------------------------------------------- decisions
 
     def _decide(self, value: Any, steps: int) -> None:
@@ -110,6 +136,10 @@ class ConsensusModule(abc.ABC):
         if self.decided:
             return
         self.decision = DecisionRecord(value, steps, "round", self.env.now())
+        if self.tracer is not None:
+            self.tracer.emit_round_end(
+                self.env.now(), self.env.pid, "decided", steps, "round", value, self.instance_label
+            )
         if self.announce_decide:
             env = self.env
             pid = env.pid
@@ -126,6 +156,16 @@ class ConsensusModule(abc.ABC):
         if self.decided:
             return
         self.decision = DecisionRecord(msg.value, msg.round, "forward", self.env.now())
+        if self.tracer is not None:
+            self.tracer.emit_round_end(
+                self.env.now(),
+                self.env.pid,
+                "forward",
+                msg.round,
+                "forward",
+                msg.value,
+                self.instance_label,
+            )
         if self.announce_decide:
             env = self.env
             pid = env.pid

@@ -94,6 +94,7 @@ class LConsensus(ConsensusModule):
     def _begin_round(self, r: int) -> None:
         self.round = r
         self._round_leader = self.omega.leader()
+        self._emit_round_start(r)
         self.env.broadcast(LProp(r, self.est, self._round_leader))
         # Messages for this round may have been buffered before we got here.
         self._try_complete_round()

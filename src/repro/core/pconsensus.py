@@ -97,6 +97,7 @@ class PConsensus(ConsensusModule):
     def _begin_round(self, r: int) -> None:
         self.round = r
         self._quorum = None
+        self._emit_round_start(r)
         self.env.broadcast(PProp(r, self.est))
         self._advance()
 

@@ -53,6 +53,11 @@ class RunReport:
     #: (:func:`repro.rsm.runner.service_metrics`): committed-ops/s, commit
     #: latency percentiles, batching, apply lag, snapshots, dedup, recovery.
     rsm: dict | None = None
+    #: Optional ``repro.obs.v1`` metrics section
+    #: (:meth:`repro.obs.ObsRuntime.section`), attached only when the spec
+    #: enabled the virtual-time gauge sampler.  Omitted from :meth:`to_dict`
+    #: when absent so default sweep JSON is unchanged.
+    obs: dict | None = None
 
     # ------------------------------------------------------------- shortcuts
 
@@ -99,6 +104,8 @@ class RunReport:
             data["perf"] = self.perf
         if self.rsm is not None:
             data["rsm"] = self.rsm
+        if self.obs is not None:
+            data["obs"] = self.obs
         return data
 
     @classmethod
@@ -122,4 +129,5 @@ class RunReport:
             sim_time=data["sim_time"],
             perf=data.get("perf"),
             rsm=data.get("rsm"),
+            obs=data.get("obs"),
         )

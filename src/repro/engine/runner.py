@@ -38,7 +38,7 @@ __all__ = [
 ]
 
 
-def run_abcast_spec(spec: AbcastRunSpec, tracer: Tracer | None = None):
+def run_abcast_spec(spec: AbcastRunSpec, tracer: Tracer | None = None, obs=None):
     """Execute one atomic-broadcast spec; returns an ``AbcastRunResult``.
 
     This is the canonical path: it resolves the protocol through the
@@ -68,10 +68,11 @@ def run_abcast_spec(spec: AbcastRunSpec, tracer: Tracer | None = None):
         max_events=spec.max_events,
         capacity=cluster.capacity,
         tracer=tracer,
+        obs=obs,
     )
 
 
-def run_consensus_spec(spec: ConsensusRunSpec, tracer: Tracer | None = None):
+def run_consensus_spec(spec: ConsensusRunSpec, tracer: Tracer | None = None, obs=None):
     """Execute one consensus spec; returns a ``ConsensusRunResult``."""
     from repro.harness.consensus_runner import run_consensus
 
@@ -91,14 +92,29 @@ def run_consensus_spec(spec: ConsensusRunSpec, tracer: Tracer | None = None):
         require_all_alive_decide=spec.require_all_alive_decide,
         service_time=cluster.service_time,
         tracer=tracer,
+        obs=obs,
     )
 
 
-def run_rsm_spec(spec: RsmRunSpec, tracer: Tracer | None = None):
+def run_rsm_spec(spec: RsmRunSpec, tracer: Tracer | None = None, obs=None):
     """Execute one RSM service spec; returns an ``RsmRunResult``."""
     from repro.rsm.runner import run_rsm
 
-    return run_rsm(spec, tracer=tracer)
+    return run_rsm(spec, tracer=tracer, obs=obs)
+
+
+def _obs_runtime(spec, tracer: Tracer):
+    """The spec's :class:`~repro.obs.ObsRuntime`, or ``None`` when all obs
+    knobs sit at their defaults (the import itself is then skipped too)."""
+    if not (
+        getattr(spec, "obs", False)
+        or getattr(spec, "obs_metrics_interval", 0.0)
+        or getattr(spec, "obs_flight_recorder", 0)
+    ):
+        return None
+    from repro.obs import ObsRuntime
+
+    return ObsRuntime.from_spec(spec, tracer=tracer)
 
 
 def _build_schedules(spec: AbcastRunSpec):
@@ -136,6 +152,7 @@ def execute_run(
     if isinstance(spec, RsmRunSpec):
         return _execute_rsm_run(spec, collect_perf=collect_perf)
     tracer = Tracer()
+    obs = _obs_runtime(spec, tracer)
     perf = None
     if collect_perf:
         from time import perf_counter
@@ -143,7 +160,7 @@ def execute_run(
         from repro.perf import collect
 
         wall_start = perf_counter()
-        result = run_abcast_spec(spec, tracer=tracer)
+        result = run_abcast_spec(spec, tracer=tracer, obs=obs)
         wall_seconds = perf_counter() - wall_start
         perf = collect(
             result.sim,
@@ -153,7 +170,7 @@ def execute_run(
             trace_counts=tracer.counts(),
         ).to_dict()
     else:
-        result = run_abcast_spec(spec, tracer=tracer)
+        result = run_abcast_spec(spec, tracer=tracer, obs=obs)
     offered, latencies = window_latencies(result, spec.warmup, spec.duration)
     return RunReport(
         spec=spec,
@@ -166,6 +183,7 @@ def execute_run(
         trace_counts=tracer.counts(),
         sim_time=result.duration,
         perf=perf,
+        obs=obs.section() if obs is not None else None,
     )
 
 
@@ -174,6 +192,7 @@ def _execute_rsm_run(spec: RsmRunSpec, collect_perf: bool = False) -> RunReport:
     from repro.rsm.runner import service_metrics, window_commit_latencies
 
     tracer = Tracer()
+    obs = _obs_runtime(spec, tracer)
     perf = None
     if collect_perf:
         from time import perf_counter
@@ -181,7 +200,7 @@ def _execute_rsm_run(spec: RsmRunSpec, collect_perf: bool = False) -> RunReport:
         from repro.perf import collect
 
         wall_start = perf_counter()
-        result = run_rsm_spec(spec, tracer=tracer)
+        result = run_rsm_spec(spec, tracer=tracer, obs=obs)
         wall_seconds = perf_counter() - wall_start
         perf = collect(
             result.sim,
@@ -191,7 +210,7 @@ def _execute_rsm_run(spec: RsmRunSpec, collect_perf: bool = False) -> RunReport:
             trace_counts=tracer.counts(),
         ).to_dict()
     else:
-        result = run_rsm_spec(spec, tracer=tracer)
+        result = run_rsm_spec(spec, tracer=tracer, obs=obs)
     offered, latencies = window_commit_latencies(result)
     return RunReport(
         spec=spec,
@@ -205,6 +224,7 @@ def _execute_rsm_run(spec: RsmRunSpec, collect_perf: bool = False) -> RunReport:
         sim_time=result.duration,
         perf=perf,
         rsm=service_metrics(result),
+        obs=obs.section() if obs is not None else None,
     )
 
 

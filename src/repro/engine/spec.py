@@ -171,6 +171,26 @@ PAPER_LAN = ClusterSpec(
 )
 
 
+def _append_obs(spec: Any, body: dict) -> dict:
+    """Serialize the observability field group only when any is non-default.
+
+    Keeping the keys out of the default serialization preserves cache keys
+    and report JSON for every pre-observability spec byte-for-byte.
+    """
+    if spec.obs or spec.obs_metrics_interval or spec.obs_flight_recorder:
+        body["obs"] = spec.obs
+        body["obs_metrics_interval"] = spec.obs_metrics_interval
+        body["obs_flight_recorder"] = spec.obs_flight_recorder
+    return body
+
+
+def _validate_obs(spec: Any) -> None:
+    if spec.obs_metrics_interval < 0:
+        raise ConfigurationError("obs_metrics_interval must be >= 0")
+    if spec.obs_flight_recorder < 0:
+        raise ConfigurationError("obs_flight_recorder must be >= 0")
+
+
 def _hash_payload(kind: str, body: dict) -> str:
     canonical = json.dumps(
         {"version": SPEC_VERSION, "kind": kind, **body},
@@ -203,19 +223,26 @@ class AbcastRunSpec:
     check: bool = True
     require_all_delivered: bool = True
     max_events: int | None = None
+    #: Observability (see :mod:`repro.obs`): detailed trace kinds, metrics
+    #: sampling interval (virtual seconds, 0 = off) and flight-recorder
+    #: capacity (records per pid, 0 = off).
+    obs: bool = False
+    obs_metrics_interval: float = 0.0
+    obs_flight_recorder: int = 0
 
     def __post_init__(self) -> None:
         if self.rate <= 0 or self.duration <= 0:
             raise ConfigurationError("rate and duration must be positive")
         if self.workload not in ("poisson", "uniform"):
             raise ConfigurationError(f"unknown workload {self.workload!r}")
+        _validate_obs(self)
 
     @property
     def horizon(self) -> float:
         return self.duration + self.drain
 
     def to_dict(self) -> dict:
-        return {
+        body = {
             "kind": "abcast",
             "protocol": self.protocol,
             "rate": self.rate,
@@ -231,6 +258,7 @@ class AbcastRunSpec:
             "require_all_delivered": self.require_all_delivered,
             "max_events": self.max_events,
         }
+        return _append_obs(self, body)
 
     @classmethod
     def from_dict(cls, data: dict) -> "AbcastRunSpec":
@@ -248,6 +276,9 @@ class AbcastRunSpec:
             check=data["check"],
             require_all_delivered=data["require_all_delivered"],
             max_events=data["max_events"],
+            obs=data.get("obs", False),
+            obs_metrics_interval=data.get("obs_metrics_interval", 0.0),
+            obs_flight_recorder=data.get("obs_flight_recorder", 0),
         )
 
     def cache_key(self) -> str:
@@ -270,17 +301,21 @@ class ConsensusRunSpec:
     horizon: float = 60.0
     check: bool = True
     require_all_alive_decide: bool = True
+    obs: bool = False
+    obs_metrics_interval: float = 0.0
+    obs_flight_recorder: int = 0
 
     def __post_init__(self) -> None:
         if len(self.proposals) < 2:
             raise ConfigurationError("consensus needs at least two processes")
+        _validate_obs(self)
 
     @property
     def n(self) -> int:
         return len(self.proposals)
 
     def to_dict(self) -> dict:
-        return {
+        body = {
             "kind": "consensus",
             "protocol": self.protocol,
             "proposals": list(self.proposals),
@@ -292,6 +327,7 @@ class ConsensusRunSpec:
             "check": self.check,
             "require_all_alive_decide": self.require_all_alive_decide,
         }
+        return _append_obs(self, body)
 
     @classmethod
     def from_dict(cls, data: dict) -> "ConsensusRunSpec":
@@ -305,6 +341,9 @@ class ConsensusRunSpec:
             horizon=data["horizon"],
             check=data["check"],
             require_all_alive_decide=data["require_all_alive_decide"],
+            obs=data.get("obs", False),
+            obs_metrics_interval=data.get("obs_metrics_interval", 0.0),
+            obs_flight_recorder=data.get("obs_flight_recorder", 0),
         )
 
     def cache_key(self) -> str:
@@ -346,12 +385,16 @@ class RsmRunSpec:
     crash_at: tuple[tuple[int, float], ...] = ()
     check: bool = True
     max_events: int | None = None
+    obs: bool = False
+    obs_metrics_interval: float = 0.0
+    obs_flight_recorder: int = 0
 
     def __post_init__(self) -> None:
         if self.rate <= 0 or self.duration <= 0:
             raise ConfigurationError("rate and duration must be positive")
         if self.workload not in ("open", "closed"):
             raise ConfigurationError(f"unknown workload {self.workload!r}")
+        _validate_obs(self)
         if self.n < 2:
             raise ConfigurationError("an RSM service needs at least two replicas")
         if self.clients < 1:
@@ -364,7 +407,7 @@ class RsmRunSpec:
         return self.duration + self.drain
 
     def to_dict(self) -> dict:
-        return {
+        body = {
             "kind": "rsm",
             "protocol": self.protocol,
             "rate": self.rate,
@@ -387,6 +430,7 @@ class RsmRunSpec:
             "check": self.check,
             "max_events": self.max_events,
         }
+        return _append_obs(self, body)
 
     @classmethod
     def from_dict(cls, data: dict) -> "RsmRunSpec":
@@ -411,6 +455,9 @@ class RsmRunSpec:
             crash_at=tuple((pid, at) for pid, at in data["crash_at"]),
             check=data["check"],
             max_events=data["max_events"],
+            obs=data.get("obs", False),
+            obs_metrics_interval=data.get("obs_metrics_interval", 0.0),
+            obs_flight_recorder=data.get("obs_flight_recorder", 0),
         )
 
     def cache_key(self) -> str:

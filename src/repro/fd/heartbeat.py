@@ -46,6 +46,10 @@ class HeartbeatSuspector(SuspectView):
 
     HB_TIMER = "heartbeat"
 
+    #: Set by the harness when detailed tracing is on; suspicion changes are
+    #: then emitted as per-process ``suspect``/``trust`` records.
+    tracer = None
+
     def __init__(
         self,
         env: Environment,
@@ -110,6 +114,8 @@ class HeartbeatSuspector(SuspectView):
             self._suspected.discard(src)
             self._timeouts[src] += self.timeout_increment
             self.false_suspicions += 1
+            if self.tracer is not None:
+                self.tracer.emit_trust(self.env.now(), self.env.pid, src)
             self._notify()
         self._arm_watchdog(src)
 
@@ -130,4 +136,6 @@ class HeartbeatSuspector(SuspectView):
         if pid in self._suspected:
             return
         self._suspected.add(pid)
+        if self.tracer is not None:
+            self.tracer.emit_suspect(self.env.now(), self.env.pid, pid)
         self._notify()

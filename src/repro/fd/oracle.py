@@ -70,6 +70,10 @@ class _OracleSuspectView(SuspectView):
 class OracleFailureDetector:
     """Central oracle backing both Ω and ◇P views for a whole cluster.
 
+    When observability is enabled the harness sets :attr:`tracer`; the
+    oracle then emits ``suspect``/``trust``/``leader-change`` records with
+    ``pid=-1`` (it is a god's-eye observer, not a process).
+
     Parameters
     ----------
     sim:
@@ -83,6 +87,9 @@ class OracleFailureDetector:
         Pids already crashed when the run starts; they are reflected in the
         very first output, preserving stability.
     """
+
+    #: Set by the harness when detailed tracing is on (pid=-1 records).
+    tracer = None
 
     def __init__(
         self,
@@ -130,6 +137,11 @@ class OracleFailureDetector:
     def current_suspects(self) -> frozenset[int]:
         return frozenset(self._crashed)
 
+    @property
+    def crashed(self) -> frozenset[int]:
+        """Pids currently reflected as crashed (for metrics gauges)."""
+        return frozenset(self._crashed)
+
     # -------------------------------------------------------------- wiring
 
     def watch(self, nodes) -> None:
@@ -154,9 +166,13 @@ class OracleFailureDetector:
             return
         old_leader = self.current_leader()
         self._crashed.add(pid)
+        if self.tracer is not None:
+            self.tracer.emit_suspect(self.sim.now, -1, pid)
         for view in self._suspect_views.values():
             view._notify()
         if self.current_leader() != old_leader:
+            if self.tracer is not None:
+                self.tracer.emit_leader_change(self.sim.now, -1, self.current_leader())
             for view in self._omega_views.values():
                 view._notify()
 
@@ -166,9 +182,13 @@ class OracleFailureDetector:
             return
         old_leader = self.current_leader()
         self._crashed.discard(pid)
+        if self.tracer is not None:
+            self.tracer.emit_trust(self.sim.now, -1, pid)
         for view in self._suspect_views.values():
             view._notify()
         if self.current_leader() != old_leader:
+            if self.tracer is not None:
+                self.tracer.emit_leader_change(self.sim.now, -1, self.current_leader())
             for view in self._omega_views.values():
                 view._notify()
 

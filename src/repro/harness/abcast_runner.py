@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.core.abcast_base import AbcastModule, AppMessage
-from repro.errors import ConfigurationError, TerminationFailure
+from repro.errors import ConfigurationError, ReproError, TerminationFailure
 from repro.fd.oracle import OracleFailureDetector
 from repro.harness.checkers import (
     check_abcast_validity,
@@ -31,6 +31,10 @@ ABCAST_SCOPE = ("abc",)
 
 class AbcastHost(HostProcess):
     """Node-level process hosting one atomic-broadcast module."""
+
+    #: Flipped on by the obs runtime: the hosted module then emits the
+    #: detailed propose/round trace kinds through ``tracer``.
+    obs_detail = False
 
     def __init__(
         self,
@@ -51,6 +55,8 @@ class AbcastHost(HostProcess):
             ABCAST_SCOPE, lambda env: self._module_factory(self, env)
         )
         self.abcast.set_on_deliver(self._record_delivery)
+        if self.obs_detail and self.tracer is not None:
+            self.abcast.enable_obs(self.tracer)
         self.abcast.on_start()
         self._arm_next_send()
 
@@ -134,6 +140,7 @@ def run_abcast(
     max_events: int | None = None,
     capacity=None,
     tracer=None,
+    obs=None,
 ) -> AbcastRunResult:
     """Run one atomic-broadcast scenario on a fresh simulated cluster.
 
@@ -150,7 +157,7 @@ def run_abcast(
     if isinstance(make_module, AbcastRunSpec):
         from repro.engine.runner import run_abcast_spec
 
-        return run_abcast_spec(make_module, tracer=tracer)
+        return run_abcast_spec(make_module, tracer=tracer, obs=obs)
     if isinstance(make_module, str):
         from repro.harness.registry import ABCAST, get_protocol
 
@@ -159,6 +166,8 @@ def run_abcast(
         raise ConfigurationError("run_abcast needs n and schedules (or a RunSpec)")
     if n < 2:
         raise ConfigurationError("atomic broadcast needs at least two processes")
+    if obs is not None and tracer is None:
+        tracer = obs.tracer
     pids = list(range(n))
     sim = Simulator(seed=seed)
     network = Network(
@@ -184,11 +193,15 @@ def run_abcast(
             schedule=schedules.get(pid, ()),
             tracer=tracer,
         )
+        if obs is not None and obs.detail:
+            host.obs_detail = True
         hosts[pid] = host
         nodes[pid] = Node(sim, network, pid, pids, host, service_time=service_time)
 
     if oracle is not None:
         oracle.watch(nodes)
+    if obs is not None:
+        obs.install(sim, network=network, oracle=oracle)
 
     for pid in initially_crashed:
         nodes[pid].crash()
@@ -212,22 +225,27 @@ def run_abcast(
     crashed = [pid for pid, node in nodes.items() if node.crashed]
 
     if check:
-        check_uniform_total_order(deliveries)
-        check_abcast_validity(broadcast, deliveries)
-        if require_all_delivered:
-            alive = [pid for pid in pids if pid not in crashed]
-            expected = {
-                mid
-                for mid, msg in broadcast.items()
-                if msg.origin not in crashed  # crashed senders' messages may be lost
-            }
-            for pid in alive:
-                missing = expected - set(deliveries[pid])
-                if missing:
-                    raise TerminationFailure(
-                        f"p{pid} never a-delivered {sorted(missing)[:5]} "
-                        f"({len(missing)} missing) within {horizon}s"
-                    )
+        try:
+            check_uniform_total_order(deliveries)
+            check_abcast_validity(broadcast, deliveries)
+            if require_all_delivered:
+                alive = [pid for pid in pids if pid not in crashed]
+                expected = {
+                    mid
+                    for mid, msg in broadcast.items()
+                    if msg.origin not in crashed  # crashed senders' msgs may be lost
+                }
+                for pid in alive:
+                    missing = expected - set(deliveries[pid])
+                    if missing:
+                        raise TerminationFailure(
+                            f"p{pid} never a-delivered {sorted(missing)[:5]} "
+                            f"({len(missing)} missing) within {horizon}s"
+                        )
+        except ReproError as err:
+            if obs is not None:
+                obs.attach_failure(err)
+            raise
 
     return AbcastRunResult(
         deliveries=deliveries,

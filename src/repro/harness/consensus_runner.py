@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 from repro.core.interfaces import ConsensusModule, DecisionRecord
-from repro.errors import ConfigurationError, TerminationFailure
+from repro.errors import ConfigurationError, ReproError, TerminationFailure
 from repro.fd.heartbeat import HeartbeatSuspector
 from repro.fd.base import omega_from_suspects
 from repro.fd.oracle import OracleFailureDetector
@@ -32,6 +32,10 @@ FD_SCOPE = ("fd",)
 class ConsensusHost(HostProcess):
     """A node-level process hosting one consensus module (plus, optionally,
     a heartbeat failure detector sharing the same node)."""
+
+    #: Flipped on by the obs runtime: the hosted module (and any heartbeat
+    #: detector) then emits the detailed trace kinds through ``tracer``.
+    obs_detail = False
 
     def __init__(
         self,
@@ -55,11 +59,15 @@ class ConsensusHost(HostProcess):
     def on_start(self) -> None:
         if self._fd_factory is not None:
             self.fd_module = self.attach(FD_SCOPE, self._fd_factory)
+            if self.obs_detail and self.tracer is not None:
+                self.fd_module.tracer = self.tracer
             self.fd_module.on_start()
         self.consensus = self.attach(
             CONSENSUS_SCOPE, lambda env: self._module_factory(self, env)
         )
         self.consensus.set_on_decide(self._record_decision)
+        if self.obs_detail and self.tracer is not None:
+            self.consensus.enable_obs(self.tracer)
         if self.propose_at <= 0.0:
             self.consensus.propose(self.proposal)
         else:
@@ -123,6 +131,7 @@ def run_consensus(
     require_all_alive_decide: bool = True,
     service_time: float = 0.0,
     tracer=None,
+    obs=None,
 ) -> ConsensusRunResult:
     """Run one consensus instance on a fresh simulated cluster.
 
@@ -142,7 +151,7 @@ def run_consensus(
     if isinstance(make_module, ConsensusRunSpec):
         from repro.engine.runner import run_consensus_spec
 
-        return run_consensus_spec(make_module, tracer=tracer)
+        return run_consensus_spec(make_module, tracer=tracer, obs=obs)
     if isinstance(make_module, str):
         from repro.harness.registry import CONSENSUS, get_protocol
 
@@ -152,6 +161,8 @@ def run_consensus(
     pids = sorted(proposals)
     if len(pids) < 2:
         raise ConfigurationError("consensus needs at least two processes")
+    if obs is not None and tracer is None:
+        tracer = obs.tracer
     sim = Simulator(seed=seed)
     network = Network(sim, delay=delay)
     oracle: OracleFailureDetector | None = None
@@ -172,11 +183,15 @@ def run_consensus(
             fd_factory=(lambda env, pid=pid: fd_factory(pid, env)) if fd_factory else None,
             tracer=tracer,
         )
+        if obs is not None and obs.detail:
+            host.obs_detail = True
         hosts[pid] = host
         nodes[pid] = Node(sim, network, pid, pids, host, service_time=service_time)
 
     if oracle is not None:
         oracle.watch(nodes)
+    if obs is not None:
+        obs.install(sim, network=network, oracle=oracle)
 
     for pid in initially_crashed:
         nodes[pid].crash()
@@ -201,15 +216,20 @@ def run_consensus(
     crashed = [pid for pid, node in nodes.items() if node.crashed]
 
     if check:
-        alive = [pid for pid in pids if pid not in crashed]
-        if require_all_alive_decide:
-            missing = [pid for pid in alive if pid not in decisions]
-            if missing:
-                raise TerminationFailure(
-                    f"correct processes {missing} did not decide within {horizon}s"
-                )
-        check_consensus_agreement(decisions)
-        check_consensus_validity(dict(proposals), decisions)
+        try:
+            alive = [pid for pid in pids if pid not in crashed]
+            if require_all_alive_decide:
+                missing = [pid for pid in alive if pid not in decisions]
+                if missing:
+                    raise TerminationFailure(
+                        f"correct processes {missing} did not decide within {horizon}s"
+                    )
+            check_consensus_agreement(decisions)
+            check_consensus_validity(dict(proposals), decisions)
+        except ReproError as err:
+            if obs is not None:
+                obs.attach_failure(err)
+            raise
 
     return ConsensusRunResult(
         proposals=dict(proposals),

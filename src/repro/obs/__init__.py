@@ -1,0 +1,49 @@
+"""repro.obs — structured observability over the flat trace stream.
+
+Four pillars, each its own module:
+
+* :mod:`repro.obs.runtime` — :class:`ObsConfig` / :class:`ObsRuntime`, the
+  opt-in switchboard that wires detailed tracing, the metrics sampler and
+  the flight recorder into a run;
+* :mod:`repro.obs.spans` — reconstructs per-consensus-instance and
+  per-broadcast-message causal spans from trace records;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms sampled on a
+  virtual-time interval, serialized as a ``repro.obs.v1`` section;
+* :mod:`repro.obs.export` — JSONL and Chrome trace-event (Perfetto) export,
+  plus first-divergence diff between two trace files;
+* :mod:`repro.obs.recorder` — bounded per-pid flight recorder attached to
+  safety-checker errors.
+
+Everything here is opt-in: with observability off, runs schedule no extra
+events and emit no extra trace kinds, so existing outputs stay
+byte-identical.
+"""
+
+from repro.obs.export import (
+    TRACE_SCHEMA,
+    diff_traces,
+    export_chrome,
+    export_jsonl,
+    load_trace,
+)
+from repro.obs.metrics import MetricsRegistry, MetricsSampler, OBS_SCHEMA
+from repro.obs.recorder import FlightRecorder
+from repro.obs.runtime import ObsConfig, ObsRuntime
+from repro.obs.spans import BroadcastSpan, ConsensusSpan, SpanBuilder
+
+__all__ = [
+    "OBS_SCHEMA",
+    "TRACE_SCHEMA",
+    "BroadcastSpan",
+    "ConsensusSpan",
+    "FlightRecorder",
+    "MetricsRegistry",
+    "MetricsSampler",
+    "ObsConfig",
+    "ObsRuntime",
+    "SpanBuilder",
+    "diff_traces",
+    "export_chrome",
+    "export_jsonl",
+    "load_trace",
+]

@@ -1,0 +1,151 @@
+"""Trace export (JSONL, Chrome trace-event) and first-divergence diff.
+
+JSONL format (``repro.trace.v1``): a header object followed by one compact
+``[time, pid, kind, data]`` array per record.  All JSON is dumped with
+sorted keys and no whitespace variation, so same-seed runs export
+byte-identical files — which is what makes :func:`diff_traces` a determinism
+regression tool rather than just a curiosity.
+
+Chrome trace-event format: the ``{"traceEvents": [...]}`` JSON that
+``chrome://tracing`` and https://ui.perfetto.dev load directly.  Simulated
+processes map to tracks (one pid each), individual trace records to instant
+events, and reconstructed consensus spans to duration (``X``) events, so a
+run's fast-path/fallback structure is visible on a timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, TextIO
+
+from repro.errors import ConfigurationError
+from repro.obs.spans import SpanBuilder
+from repro.sim.trace import TraceRecord, describe_value
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "diff_traces",
+    "export_chrome",
+    "export_jsonl",
+    "load_trace",
+    "record_rows",
+]
+
+TRACE_SCHEMA = "repro.trace.v1"
+
+_MICROS = 1e6  # trace-event timestamps are microseconds
+
+
+def record_rows(records: Iterable[TraceRecord]) -> list[list[Any]]:
+    """Records as JSON-safe ``[time, pid, kind, data]`` rows."""
+    return [[r.time, r.pid, r.kind, describe_value(r.data)] for r in records]
+
+
+def export_jsonl(
+    records: Iterable[TraceRecord], out: TextIO, spec: dict[str, Any] | None = None
+) -> int:
+    """Write the JSONL export; returns the number of records written."""
+    rows = record_rows(records)
+    header: dict[str, Any] = {"records": len(rows), "schema": TRACE_SCHEMA}
+    if spec is not None:
+        header["spec"] = spec
+    out.write(json.dumps(header, sort_keys=True, separators=(",", ":")))
+    out.write("\n")
+    for row in rows:
+        out.write(json.dumps(row, sort_keys=True, separators=(",", ":")))
+        out.write("\n")
+    return len(rows)
+
+
+def load_trace(path: str) -> tuple[dict[str, Any], list[list[Any]]]:
+    """Load a JSONL export; returns ``(header, rows)``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = [line for line in fh.read().splitlines() if line.strip()]
+    if not lines:
+        raise ConfigurationError(f"{path}: empty trace file")
+    header = json.loads(lines[0])
+    if not isinstance(header, dict) or header.get("schema") != TRACE_SCHEMA:
+        raise ConfigurationError(
+            f"{path}: not a {TRACE_SCHEMA} trace (header: {lines[0][:80]!r})"
+        )
+    rows = [json.loads(line) for line in lines[1:]]
+    return header, rows
+
+
+def export_chrome(
+    records: Iterable[TraceRecord], out: TextIO, spec: dict[str, Any] | None = None
+) -> int:
+    """Write a Chrome trace-event / Perfetto JSON file.
+
+    Mapping: the whole run is one trace-event "process"; each simulated pid
+    becomes a thread (track).  Every trace record is an instant (``i``)
+    event on its pid's track; reconstructed consensus spans become duration
+    (``X``) events from propose to decide.
+    """
+    records = list(records)
+    events: list[dict[str, Any]] = []
+    pids = sorted({r.pid for r in records})
+    for pid in pids:
+        name = f"p{pid}" if pid >= 0 else "system"
+        events.append(
+            {
+                "args": {"name": name},
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": pid,
+            }
+        )
+    for r in records:
+        events.append(
+            {
+                "args": {"data": describe_value(r.data)},
+                "name": r.kind,
+                "ph": "i",
+                "pid": 0,
+                "s": "t",
+                "tid": r.pid,
+                "ts": r.time * _MICROS,
+            }
+        )
+    builder = SpanBuilder().add_records(records)
+    for span in builder.consensus_spans():
+        if span.propose_at is None or span.decided_at is None:
+            continue
+        label = "consensus" if span.instance is None else f"consensus[{span.instance}]"
+        events.append(
+            {
+                "args": {
+                    "steps": span.steps,
+                    "via": span.via,
+                    "value": describe_value(span.decided_value),
+                },
+                "dur": (span.decided_at - span.propose_at) * _MICROS,
+                "name": label,
+                "ph": "X",
+                "pid": 0,
+                "tid": span.pid,
+                "ts": span.propose_at * _MICROS,
+            }
+        )
+    document = {"displayTimeUnit": "ms", "traceEvents": events}
+    json.dump(document, out, sort_keys=True, separators=(",", ":"))
+    out.write("\n")
+    return len(records)
+
+
+def diff_traces(
+    a: list[list[Any]], b: list[list[Any]]
+) -> tuple[int, list[Any] | None, list[Any] | None] | None:
+    """First divergence between two row lists, or ``None`` if identical.
+
+    Returns ``(index, left_row, right_row)``; a missing row (one trace is a
+    prefix of the other) is reported as ``None`` on the shorter side.
+    """
+    for i, (ra, rb) in enumerate(zip(a, b)):
+        if ra != rb:
+            return (i, ra, rb)
+    if len(a) != len(b):
+        i = min(len(a), len(b))
+        return (i, a[i] if i < len(a) else None, b[i] if i < len(b) else None)
+    return None

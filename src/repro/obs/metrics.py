@@ -1,0 +1,126 @@
+"""Virtual-time metrics: counters, gauges, histograms and a sampler.
+
+A :class:`MetricsRegistry` holds three instrument families:
+
+* **counters** — monotonic totals bumped by instrumentation code;
+* **gauges** — named callables read at each sample tick (queue depth,
+  in-flight messages, per-pid round number, ...);
+* **histograms** — value lists summarized at serialization time.
+
+A :class:`MetricsSampler` rides the simulator: it schedules itself every
+``interval`` virtual seconds and appends one row of gauge readings per tick.
+Sampling draws no randomness and mutates no protocol state, so same-seed
+runs produce byte-identical series; the only footprint is the sampler's own
+kernel events, which exist only when observability is on.
+
+The serialized section (``repro.obs.v1``) is embedded in
+:class:`repro.engine.report.RunReport` under the optional ``obs`` key.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["OBS_SCHEMA", "MetricsRegistry", "MetricsSampler"]
+
+OBS_SCHEMA = "repro.obs.v1"
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Nearest-rank-with-interpolation percentile over a sorted list."""
+    if not ordered:
+        return math.nan
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class MetricsRegistry:
+    """Named counters, gauge callbacks and histograms for one run."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, Callable[[], float]] = {}
+        self._histograms: dict[str, list[float]] = {}
+
+    # ----------------------------------------------------------- instruments
+
+    def counter(self, name: str, delta: float = 1.0) -> None:
+        """Increment counter ``name`` by ``delta``."""
+        self._counters[name] = self._counters.get(name, 0.0) + delta
+
+    def gauge(self, name: str, read: Callable[[], float]) -> None:
+        """Register gauge ``name``; ``read`` is called at every sample tick."""
+        self._gauges[name] = read
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one observation to histogram ``name``."""
+        self._histograms.setdefault(name, []).append(value)
+
+    @property
+    def gauge_names(self) -> list[str]:
+        return sorted(self._gauges)
+
+    def read_gauges(self) -> list[float]:
+        """One row of gauge readings, in sorted-name order."""
+        return [float(self._gauges[name]()) for name in self.gauge_names]
+
+    # --------------------------------------------------------- serialization
+
+    def histogram_summary(self, name: str) -> dict[str, float]:
+        values = sorted(self._histograms.get(name, ()))
+        if not values:
+            return {"count": 0}
+        return {
+            "count": len(values),
+            "min": values[0],
+            "max": values[-1],
+            "mean": sum(values) / len(values),
+            "p50": _percentile(values, 0.50),
+            "p95": _percentile(values, 0.95),
+            "p99": _percentile(values, 0.99),
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "histograms": {
+                name: self.histogram_summary(name) for name in sorted(self._histograms)
+            },
+        }
+
+
+class MetricsSampler:
+    """Samples a registry's gauges every ``interval`` virtual seconds."""
+
+    def __init__(self, registry: MetricsRegistry, interval: float) -> None:
+        if interval <= 0:
+            raise ConfigurationError(f"sampling interval must be > 0 (got {interval})")
+        self.registry = registry
+        self.interval = interval
+        #: rows of ``[time, gauge0, gauge1, ...]`` in sorted gauge-name order.
+        self.samples: list[list[float]] = []
+        self._sim: Any = None
+
+    def start(self, sim: Any) -> None:
+        """Begin sampling on ``sim``; the first sample lands at ``interval``."""
+        self._sim = sim
+        sim.schedule(self.interval, self._tick)
+
+    def _tick(self) -> None:
+        self.samples.append([self._sim.now, *self.registry.read_gauges()])
+        self._sim.schedule(self.interval, self._tick)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "interval": self.interval,
+            "gauges": self.registry.gauge_names,
+            "samples": self.samples,
+        }

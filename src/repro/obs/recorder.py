@@ -1,0 +1,50 @@
+"""Flight recorder: a bounded per-pid ring buffer of recent trace events.
+
+Safety-checker failures are rare and usually unreproducible outside the
+exact seed that triggered them, so violated runs should ship their own
+black box.  The recorder subscribes to a :class:`~repro.sim.trace.Tracer`
+and keeps the last ``capacity`` records per pid; when a checker raises, the
+harness calls :meth:`FlightRecorder.attach` to pin the dump onto the error
+object (``err.flight_record``) before re-raising.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.sim.trace import TraceRecord, Tracer, describe_value
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Retains the most recent ``capacity`` trace records per pid."""
+
+    def __init__(self, tracer: Tracer, capacity: int = 64) -> None:
+        self.capacity = capacity
+        self._buffers: dict[int, deque[TraceRecord]] = {}
+        self._tracer = tracer
+        self._handle = tracer.subscribe(self._on_record)
+
+    def _on_record(self, record: TraceRecord) -> None:
+        buffer = self._buffers.get(record.pid)
+        if buffer is None:
+            self._buffers[record.pid] = buffer = deque(maxlen=self.capacity)
+        buffer.append(record)
+
+    def close(self) -> None:
+        """Stop recording (e.g. once the run's check phase has passed)."""
+        self._tracer.unsubscribe(self._handle)
+
+    def dump(self) -> dict[int, list[list[Any]]]:
+        """Per-pid recent history as JSON-safe ``[time, pid, kind, data]`` rows."""
+        return {
+            pid: [[r.time, r.pid, r.kind, describe_value(r.data)] for r in self._buffers[pid]]
+            for pid in sorted(self._buffers)
+        }
+
+    def attach(self, err: BaseException) -> BaseException:
+        """Pin the current dump onto ``err`` as ``err.flight_record``."""
+        err.flight_record = self.dump()  # type: ignore[attr-defined]
+        return err

@@ -1,0 +1,230 @@
+"""Causal spans reconstructed from trace records.
+
+The flat trace stream answers "what happened when"; spans answer "how did
+this decision come about".  Two span families:
+
+* :class:`ConsensusSpan` — one consensus instance at one process:
+  propose → round/phase transitions → decide (or undecided at end of run),
+  with a per-phase virtual-time breakdown.  "Decided in 1 step via the fast
+  path" is a field, not a test assertion.
+* :class:`BroadcastSpan` — one application message: a-broadcast at its
+  origin → a-deliver fan-out across processes, with first/last delivery
+  latency.
+
+:class:`SpanBuilder` consumes either live :class:`~repro.sim.trace.TraceRecord`
+objects or rows loaded from a JSONL export (``[time, pid, kind, data]``
+lists), so the CLI can build spans from a file without replaying the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.sim.trace import KINDS, TraceRecord
+
+__all__ = ["BroadcastSpan", "ConsensusSpan", "SpanBuilder"]
+
+
+def _canonical_id(value: Any) -> Any:
+    """Hashable, export-stable identity for message ids and instances."""
+    if isinstance(value, list):
+        return tuple(_canonical_id(v) for v in value)
+    if isinstance(value, tuple):
+        return tuple(_canonical_id(v) for v in value)
+    return value
+
+
+@dataclass
+class ConsensusSpan:
+    """One consensus instance observed at one process."""
+
+    pid: int
+    instance: Any = None
+    propose_at: float | None = None
+    proposed_value: Any = None
+    #: ``(round, phase-or-None, start-time)`` in emission order.
+    rounds: list[tuple[int, str | None, float]] = field(default_factory=list)
+    decided_at: float | None = None
+    decided_value: Any = None
+    steps: int | None = None
+    via: str | None = None
+    outcome: str | None = None
+
+    @property
+    def decided(self) -> bool:
+        return self.decided_at is not None
+
+    @property
+    def fast_path(self) -> bool:
+        """True when the instance decided in a single communication step."""
+        return self.decided and self.steps == 1
+
+    @property
+    def max_round(self) -> int:
+        return max((r for r, _, _ in self.rounds), default=0)
+
+    def phase_breakdown(self) -> list[dict[str, Any]]:
+        """Virtual-time spent in each round/phase, in order.
+
+        Each entry covers from that round/phase's start to the next
+        transition (or the decision, for the final one).
+        """
+        out: list[dict[str, Any]] = []
+        for i, (round_no, phase, start) in enumerate(self.rounds):
+            if i + 1 < len(self.rounds):
+                end = self.rounds[i + 1][2]
+            else:
+                end = self.decided_at if self.decided_at is not None else start
+            entry: dict[str, Any] = {"round": round_no, "start": start, "duration": end - start}
+            if phase is not None:
+                entry["phase"] = phase
+            out.append(entry)
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "pid": self.pid,
+            "instance": self.instance,
+            "propose_at": self.propose_at,
+            "proposed_value": self.proposed_value,
+            "phases": self.phase_breakdown(),
+            "decided_at": self.decided_at,
+            "decided_value": self.decided_value,
+            "steps": self.steps,
+            "via": self.via,
+            "outcome": self.outcome,
+            "fast_path": self.fast_path,
+        }
+
+
+@dataclass
+class BroadcastSpan:
+    """One a-broadcast message and its delivery fan-out."""
+
+    msg_id: Any
+    origin: int | None = None
+    sent_at: float | None = None
+    #: pid -> delivery time (first delivery per pid).
+    deliveries: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def first_delivery(self) -> float | None:
+        return min(self.deliveries.values()) if self.deliveries else None
+
+    @property
+    def last_delivery(self) -> float | None:
+        return max(self.deliveries.values()) if self.deliveries else None
+
+    @property
+    def latency(self) -> float | None:
+        """Virtual time from broadcast to first delivery anywhere."""
+        if self.sent_at is None or not self.deliveries:
+            return None
+        return self.first_delivery - self.sent_at
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "msg_id": list(self.msg_id) if isinstance(self.msg_id, tuple) else self.msg_id,
+            "origin": self.origin,
+            "sent_at": self.sent_at,
+            "deliveries": {str(pid): t for pid, t in sorted(self.deliveries.items())},
+            "latency": self.latency,
+        }
+
+
+class SpanBuilder:
+    """Folds a trace (records or exported rows) into causal spans."""
+
+    def __init__(self) -> None:
+        #: (pid, instance) -> span
+        self.consensus: dict[tuple[int, Any], ConsensusSpan] = {}
+        #: msg_id -> span
+        self.broadcasts: dict[Any, BroadcastSpan] = {}
+
+    # ------------------------------------------------------------- ingestion
+
+    def add_records(self, records: Iterable[TraceRecord]) -> "SpanBuilder":
+        for r in records:
+            self.add(r.time, r.pid, r.kind, r.data)
+        return self
+
+    def add_rows(self, rows: Iterable[list[Any]]) -> "SpanBuilder":
+        """Ingest ``[time, pid, kind, data]`` rows from a JSONL export."""
+        for time, pid, kind, data in rows:
+            self.add(time, pid, kind, data)
+        return self
+
+    def _consensus_span(self, pid: int, instance: Any) -> ConsensusSpan:
+        key = (pid, _canonical_id(instance))
+        span = self.consensus.get(key)
+        if span is None:
+            self.consensus[key] = span = ConsensusSpan(pid=pid, instance=key[1])
+        return span
+
+    def add(self, time: float, pid: int, kind: str, data: Any) -> None:
+        if kind == KINDS.PROPOSE:
+            span = self._consensus_span(pid, data.get("instance"))
+            span.propose_at = time
+            span.proposed_value = data.get("value")
+        elif kind == KINDS.ROUND_START:
+            span = self._consensus_span(pid, data.get("instance"))
+            span.rounds.append((data["round"], data.get("phase"), time))
+        elif kind == KINDS.ROUND_END:
+            span = self._consensus_span(pid, data.get("instance"))
+            span.decided_at = time
+            span.decided_value = data.get("value")
+            span.steps = data.get("steps")
+            span.via = data.get("via")
+            span.outcome = data.get("outcome")
+        elif kind == KINDS.A_BROADCAST:
+            msg_id = _canonical_id(data)
+            span = self.broadcasts.get(msg_id)
+            if span is None:
+                self.broadcasts[msg_id] = span = BroadcastSpan(msg_id=msg_id)
+            span.sent_at = time
+            span.origin = pid
+        elif kind == KINDS.A_DELIVER:
+            msg_id = _canonical_id(data)
+            span = self.broadcasts.get(msg_id)
+            if span is None:
+                self.broadcasts[msg_id] = span = BroadcastSpan(msg_id=msg_id)
+            span.deliveries.setdefault(pid, time)
+
+    # --------------------------------------------------------------- queries
+
+    def consensus_spans(self) -> list[ConsensusSpan]:
+        return [self.consensus[key] for key in sorted(self.consensus, key=repr)]
+
+    def broadcast_spans(self) -> list[BroadcastSpan]:
+        return [self.broadcasts[key] for key in sorted(self.broadcasts, key=repr)]
+
+    def summary(self) -> dict[str, Any]:
+        """Aggregate span statistics for reporting and assertions."""
+        spans = self.consensus_spans()
+        decided = [s for s in spans if s.decided]
+        steps_hist: dict[str, int] = {}
+        for s in decided:
+            key = str(s.steps)
+            steps_hist[key] = steps_hist.get(key, 0) + 1
+        bspans = [s for s in self.broadcast_spans() if s.latency is not None]
+        latencies = sorted(s.latency for s in bspans)
+        broadcast_stats: dict[str, Any] = {"count": len(self.broadcasts)}
+        if latencies:
+            broadcast_stats.update(
+                {
+                    "delivered": len(latencies),
+                    "min_latency": latencies[0],
+                    "max_latency": latencies[-1],
+                    "mean_latency": sum(latencies) / len(latencies),
+                }
+            )
+        return {
+            "instances": len(spans),
+            "decided": len(decided),
+            "fast_path": sum(1 for s in decided if s.fast_path),
+            "forwarded": sum(1 for s in decided if s.outcome == "forward"),
+            "steps_histogram": dict(sorted(steps_hist.items())),
+            "max_round": max((s.max_round for s in spans), default=0),
+            "broadcasts": broadcast_stats,
+        }

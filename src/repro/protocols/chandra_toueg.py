@@ -108,6 +108,7 @@ class ChandraTouegConsensus(ConsensusModule):
 
     def _begin_round(self, r: int) -> None:
         self.round = r
+        self._emit_round_start(r)
         self._waiting_coord = True
         self.env.send(self._coordinator(r), Estimate(r, self.est, self.ts))
         self._maybe_answer()

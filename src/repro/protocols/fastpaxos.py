@@ -141,6 +141,7 @@ class FastPaxosConsensus(ConsensusModule):
 
     def _start(self, value: Any) -> None:
         self.est = value
+        self._emit_round_start(0, phase="fast")
         self.env.broadcast(FastPropose(value))
 
     # --------------------------------------------------------------- dispatch
@@ -235,6 +236,7 @@ class FastPaxosConsensus(ConsensusModule):
         self._recovering = True
         self._round = 1
         self._phase1b = {}
+        self._emit_round_start(self._round, phase="phase1")
         self.env.broadcast(Phase1a(self._round))
 
     def on_timer(self, name: Any) -> None:
@@ -253,6 +255,7 @@ class FastPaxosConsensus(ConsensusModule):
             return
         value = self._pick_value(self._phase1b)
         self._phase2_sent = True
+        self._emit_round_start(self._round, phase="phase2")
         self.env.broadcast(Phase2a(self._round, value))
 
     def _pick_value(self, reports: dict[int, Phase1b]) -> Any:

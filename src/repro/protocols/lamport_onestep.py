@@ -90,10 +90,16 @@ class LamportOneStepConsensus(ConsensusModule):
         self.underlying = underlying_factory(ScopedEnvironment(env, _UNDERLYING_SCOPE))
         self.underlying.set_on_decide(self._on_underlying_decide)
 
+    def enable_obs(self, tracer, instance_label: Any = None) -> None:
+        super().enable_obs(tracer, instance_label)
+        label = "underlying" if instance_label is None else (instance_label, "underlying")
+        self.underlying.enable_obs(tracer, label)
+
     # --------------------------------------------------------------- protocol
 
     def _start(self, value: Any) -> None:
         self.est = value
+        self._emit_round_start(1, phase="vote")
         self.env.broadcast(GeneralVote(value))
         self._evaluate()
 

@@ -159,6 +159,7 @@ class PaxosConsensus(ConsensusModule):
             self._promises = {}
             self._accept_sent = True
             self.steps_taken += 1
+            self._emit_round_start(0, phase="accept")
             self.env.broadcast(Accept(0, self.est))
             return
         if ballot <= (self._ballot if self._ballot is not None else -1):
@@ -168,6 +169,7 @@ class PaxosConsensus(ConsensusModule):
         self._promises = {}
         self._accept_sent = False
         self.steps_taken += 1
+        self._emit_round_start(ballot, phase="prepare")
         self.env.broadcast(Prepare(ballot))
 
     # -------------------------------------------------------------- message IO
@@ -223,6 +225,7 @@ class PaxosConsensus(ConsensusModule):
         value = best.accepted_value if best is not None else self.est
         self._accept_sent = True
         self.steps_taken += 1
+        self._emit_round_start(self._ballot, phase="accept")
         self.env.broadcast(Accept(self._ballot, value))
 
     def _on_nack(self, src: int, msg: Nack) -> None:

@@ -138,6 +138,10 @@ class WabCast(AbcastModule):
         key = (self.round, self.inner)
         self.state = _AWAIT_FIRST
         self.inner_rounds_run += 1
+        if self.tracer is not None:
+            self.tracer.emit_round_start(
+                self.env.now(), self.env.pid, self.inner, self.round, "wab"
+            )
         if proposal or key not in self._first:
             self.wab.w_broadcast(key, proposal)
         if self.round in self._decisions:

@@ -35,6 +35,7 @@ from repro.rsm.machine import StateMachine
 from repro.rsm.session import DedupTable, Request
 from repro.sim.process import Environment, HostProcess
 from repro.sim.storage import StableStore
+from repro.sim.trace import KINDS
 
 __all__ = [
     "RSM_ABCAST_SCOPE",
@@ -92,6 +93,10 @@ class AppliedEntry:
 class RsmReplica(HostProcess):
     """One replica of the replicated state-machine service.
 
+    When ``obs_detail`` is set (by the obs runtime), the replica emits
+    ``rsm-apply``/``rsm-snapshot``/``rsm-catchup`` trace records alongside
+    the always-on broadcast/deliver pair.
+
     Parameters
     ----------
     machine:
@@ -109,6 +114,9 @@ class RsmReplica(HostProcess):
     catchup_interval:
         Learner poll period for :class:`CatchUpRequest` messages.
     """
+
+    #: Detailed rsm-* tracing; flipped on by the obs runtime per run.
+    obs_detail = False
 
     def __init__(
         self,
@@ -178,6 +186,8 @@ class RsmReplica(HostProcess):
             RSM_ABCAST_SCOPE, lambda env: self._module_factory(self, env)
         )
         self.abcast.set_on_deliver(self._on_deliver)
+        if self.obs_detail and self.tracer is not None:
+            self.abcast.enable_obs(self.tracer)
         self.abcast.on_start()
         self.batcher = Batcher(
             self.env,
@@ -239,6 +249,17 @@ class RsmReplica(HostProcess):
         self.audit.append(
             AppliedEntry(self.applied_index, request, result, self.env.now())
         )
+        if self.obs_detail and self.tracer is not None:
+            self.tracer.emit(
+                self.env.now(),
+                self.env.pid,
+                KINDS.RSM_APPLY,
+                {
+                    "index": self.applied_index,
+                    "session": request.session,
+                    "seq": request.seq,
+                },
+            )
         self._ack(request, result)
         if self.snapshot_every and (
             self.applied_index - self.last_snapshot_index >= self.snapshot_every
@@ -255,6 +276,13 @@ class RsmReplica(HostProcess):
             "digest": self.machine.digest(),
         }
         self.store.put(SNAPSHOT_KEY, payload)
+        if self.obs_detail and self.tracer is not None:
+            self.tracer.emit(
+                self.env.now(),
+                self.env.pid,
+                KINDS.RSM_SNAPSHOT,
+                {"index": self.applied_index},
+            )
         self.snapshots_taken += 1
         self.snapshot_bytes += len(repr(payload))
         self.last_snapshot_index = self.applied_index
@@ -321,6 +349,17 @@ class RsmReplica(HostProcess):
             )
 
     def _absorb_catchup(self, reply: CatchUpReply) -> None:
+        if self.obs_detail and self.tracer is not None:
+            self.tracer.emit(
+                self.env.now(),
+                self.env.pid,
+                KINDS.RSM_CATCHUP,
+                {
+                    "start": reply.start,
+                    "entries": len(reply.entries),
+                    "snapshot": reply.snapshot is not None,
+                },
+            )
         if reply.snapshot is not None and reply.snapshot["index"] > self.applied_index:
             self._install_snapshot(reply.snapshot)
         for i, request in enumerate(reply.entries):

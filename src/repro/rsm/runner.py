@@ -28,7 +28,12 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.engine.spec import RsmRunSpec
-from repro.errors import ConfigurationError, LinearizabilityViolation, TerminationFailure
+from repro.errors import (
+    ConfigurationError,
+    LinearizabilityViolation,
+    ReproError,
+    TerminationFailure,
+)
 from repro.fd.oracle import OracleFailureDetector
 from repro.harness.checkers import (
     check_rsm_exactly_once,
@@ -89,9 +94,11 @@ def _build_arrivals(spec: RsmRunSpec, session: int) -> list[float]:
         plan.append(t)
 
 
-def run_rsm(spec: RsmRunSpec, tracer=None) -> RsmRunResult:
+def run_rsm(spec: RsmRunSpec, tracer=None, obs=None) -> RsmRunResult:
     """Run one RSM service spec on a fresh simulated cluster."""
     info = get_protocol(spec.protocol, kind=ABCAST)
+    if obs is not None and tracer is None:
+        tracer = obs.tracer
     cluster = spec.cluster
     pids = list(range(spec.n))
     for pid, _ in spec.crash_at:
@@ -128,10 +135,13 @@ def run_rsm(spec: RsmRunSpec, tracer=None) -> RsmRunResult:
             tracer=tracer,
         )
 
+    obs_detail = obs is not None and obs.detail
     replicas: dict[int, RsmReplica] = {}
     nodes: dict[int, Node] = {}
     for pid in pids:
         replica = make_serving(pid)
+        if obs_detail:
+            replica.obs_detail = True
         replicas[pid] = replica
         nodes[pid] = Node(
             sim, network, pid, pids, replica, service_time=cluster.service_time
@@ -141,6 +151,9 @@ def run_rsm(spec: RsmRunSpec, tracer=None) -> RsmRunResult:
         # must keep treating it as crashed (re-electing a recovered pid as
         # Ω leader would stall consensus behind a non-participant).
         nodes[pid].add_crash_listener(oracle.on_crash)
+
+    if obs is not None:
+        obs.install(sim, network=network, oracle=oracle)
 
     for pid in cluster.initially_crashed:
         nodes[pid].crash()
@@ -203,6 +216,8 @@ def run_rsm(spec: RsmRunSpec, tracer=None) -> RsmRunResult:
                     catchup_interval=spec.catchup_interval,
                     tracer=tracer,
                 )
+                if obs_detail:
+                    learner.obs_detail = True
                 learners[pid] = learner
                 replicas[pid] = learner
                 return learner
@@ -216,63 +231,68 @@ def run_rsm(spec: RsmRunSpec, tracer=None) -> RsmRunResult:
         set(pid for pid, _ in spec.crash_at) | set(cluster.initially_crashed)
     )
     survivors = serving.pids()
-    if not survivors:
-        raise TerminationFailure("no serving replica survived the run")
-    authority = min(
-        survivors, key=lambda pid: (-replicas[pid].applied_index, pid)
-    )
-    auth = replicas[authority]
-
-    linearizable = True
     try:
-        check_rsm_linearizable(
-            [(entry.request.command, entry.result) for entry in auth.audit],
-            KvStore(),
+        if not survivors:
+            raise TerminationFailure("no serving replica survived the run")
+        authority = min(
+            survivors, key=lambda pid: (-replicas[pid].applied_index, pid)
         )
-    except LinearizabilityViolation:
-        if spec.check:
-            raise
-        linearizable = False
+        auth = replicas[authority]
 
-    if spec.check:
-        check_uniform_total_order(
-            {pid: replicas[pid].abcast.delivered_ids for pid in survivors}
-        )
-        audited = {
-            pid: [entry.request.rid for entry in replicas[pid].audit]
-            for pid in (*survivors, *learners)
-        }
-        check_rsm_exactly_once(audited)
-        check_rsm_session_order(audited)
-        check_rsm_log_consistent(
-            {
-                pid: [
-                    (entry.index, entry.request.rid)
-                    for entry in replicas[pid].audit
-                ]
+        linearizable = True
+        try:
+            check_rsm_linearizable(
+                [(entry.request.command, entry.result) for entry in auth.audit],
+                KvStore(),
+            )
+        except LinearizabilityViolation:
+            if spec.check:
+                raise
+            linearizable = False
+
+        if spec.check:
+            check_uniform_total_order(
+                {pid: replicas[pid].abcast.delivered_ids for pid in survivors}
+            )
+            audited = {
+                pid: [entry.request.rid for entry in replicas[pid].audit]
                 for pid in (*survivors, *learners)
             }
-        )
-        for pid in survivors:
-            if replicas[pid].digest() != auth.digest():
-                raise TerminationFailure(
-                    f"survivor {pid} diverged from replica {authority} at drain"
-                )
-        for pid, learner in learners.items():
-            if learner.digest() != auth.digest():
-                raise TerminationFailure(
-                    f"recovered replica {pid} did not converge by the horizon "
-                    f"(applied {learner.applied_index}/{auth.applied_index})"
-                )
-        unacked = {
-            session: sorted(driver.pending)
-            for session, driver in drivers.items()
-            if driver.pending
-        }
-        if unacked:
-            raise TerminationFailure(
-                f"requests never acknowledged within the horizon: {unacked}"
+            check_rsm_exactly_once(audited)
+            check_rsm_session_order(audited)
+            check_rsm_log_consistent(
+                {
+                    pid: [
+                        (entry.index, entry.request.rid)
+                        for entry in replicas[pid].audit
+                    ]
+                    for pid in (*survivors, *learners)
+                }
             )
+            for pid in survivors:
+                if replicas[pid].digest() != auth.digest():
+                    raise TerminationFailure(
+                        f"survivor {pid} diverged from replica {authority} at drain"
+                    )
+            for pid, learner in learners.items():
+                if learner.digest() != auth.digest():
+                    raise TerminationFailure(
+                        f"recovered replica {pid} did not converge by the horizon "
+                        f"(applied {learner.applied_index}/{auth.applied_index})"
+                    )
+            unacked = {
+                session: sorted(driver.pending)
+                for session, driver in drivers.items()
+                if driver.pending
+            }
+            if unacked:
+                raise TerminationFailure(
+                    f"requests never acknowledged within the horizon: {unacked}"
+                )
+    except ReproError as err:
+        if obs is not None:
+            obs.attach_failure(err)
+        raise
 
     return RsmRunResult(
         spec=spec,

@@ -31,6 +31,7 @@ from typing import Any, Callable, Protocol
 from repro.errors import ConfigurationError
 from repro.sim.kernel import Simulator
 from repro.sim.process import Scoped
+from repro.sim.trace import KINDS
 
 __all__ = [
     "DelayModel",
@@ -559,6 +560,9 @@ class Network:
         self._filters: list[LinkFilter] = []
         self._partitions: list[frozenset[int]] = []
         self._rng = sim.rng("network")
+        # Set by the obs runtime for detailed tracing (msg-send/msg-deliver
+        # records); None keeps the hot path free of tracing work.
+        self.obs_tracer = None
 
     # ------------------------------------------------------------- membership
 
@@ -663,6 +667,11 @@ class Network:
         kind_stats[0] += 1
         kind_stats[1] += size
 
+        if self.obs_tracer is not None:
+            self.obs_tracer.emit(
+                now, src, KINDS.MSG_SEND, {"dst": dst, "kind": kind, "channel": channel}
+            )
+
         if self._partitions and self._partition_blocks(src, dst):
             stats.record_dropped()
             return
@@ -753,4 +762,15 @@ class Network:
 
     def _deliver_to(self, node: Any, envelope: Envelope) -> None:
         self.stats.delivered += 1
+        if self.obs_tracer is not None:
+            self.obs_tracer.emit(
+                self.sim._now,
+                envelope.dst,
+                KINDS.MSG_DELIVER,
+                {
+                    "src": envelope.src,
+                    "kind": self.stats._kind_of(envelope.payload),
+                    "channel": envelope.channel,
+                },
+            )
         node.deliver(envelope)

@@ -5,6 +5,13 @@ transitions) to a :class:`Tracer`.  Tests assert on traces; the experiment
 harness derives latency and step-count metrics from them.  Tracing is
 pull-free and allocation-light: a record is a plain tuple appended to a list,
 and subscribers get synchronous callbacks.
+
+The :class:`KINDS` vocabulary covers the full causal story of a run: the
+always-on application events (``a-broadcast``, ``a-deliver``, ``decide``)
+plus the detailed kinds that :mod:`repro.obs` turns on per run — proposals,
+round/phase transitions, failure-detector output, network message ids and
+RSM lifecycle events.  Detailed kinds are opt-in so that existing runs stay
+byte-identical when observability is off.
 """
 
 from __future__ import annotations
@@ -13,7 +20,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
-__all__ = ["KINDS", "TraceRecord", "Tracer"]
+__all__ = ["KINDS", "TraceRecord", "Tracer", "describe_value"]
 
 
 class KINDS:
@@ -24,11 +31,66 @@ class KINDS:
     kind keeps working for ad-hoc instrumentation.
     """
 
+    # Always-on application events.
     A_BROADCAST = "a-broadcast"
     A_DELIVER = "a-deliver"
     DECIDE = "decide"
 
-    ALL = frozenset({A_BROADCAST, A_DELIVER, DECIDE})
+    # Detailed kinds, emitted only when observability is enabled.
+    PROPOSE = "propose"
+    ROUND_START = "round-start"
+    ROUND_END = "round-end"
+    LEADER_CHANGE = "leader-change"
+    SUSPECT = "suspect"
+    TRUST = "trust"
+    MSG_SEND = "msg-send"
+    MSG_DELIVER = "msg-deliver"
+    RSM_APPLY = "rsm-apply"
+    RSM_SNAPSHOT = "rsm-snapshot"
+    RSM_CATCHUP = "rsm-catchup"
+
+    ALL = frozenset(
+        {
+            A_BROADCAST,
+            A_DELIVER,
+            DECIDE,
+            PROPOSE,
+            ROUND_START,
+            ROUND_END,
+            LEADER_CHANGE,
+            SUSPECT,
+            TRUST,
+            MSG_SEND,
+            MSG_DELIVER,
+            RSM_APPLY,
+            RSM_SNAPSHOT,
+            RSM_CATCHUP,
+        }
+    )
+
+
+def describe_value(value: Any) -> Any:
+    """Deterministic, JSON-friendly description of a traced value.
+
+    Trace payloads end up in exported JSONL files that must be byte-identical
+    across same-seed runs.  Sets are the hazard: ``PYTHONHASHSEED`` salts
+    string hashes, so iterating (or ``repr``-ing) a set of strings is not
+    reproducible.  This helper sorts set-like values and renders message
+    objects by their stable identity instead.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [describe_value(v) for v in value]
+    msg_id = getattr(value, "msg_id", None)
+    if msg_id is not None:
+        return describe_value(msg_id)
+    if isinstance(value, (set, frozenset)):
+        described = [describe_value(v) for v in value]
+        return sorted(described, key=repr)
+    if isinstance(value, dict):
+        return {str(k): describe_value(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    return repr(value)
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,8 +127,21 @@ class Tracer:
             for fn in self._subscribers:
                 fn(record)
 
-    def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
+    def subscribe(self, fn: Callable[[TraceRecord], None]) -> Callable[[TraceRecord], None]:
+        """Register ``fn`` for synchronous record callbacks; returns ``fn``.
+
+        Returning the callable makes the subscribe/unsubscribe pairing easy
+        even for lambdas: ``handle = tracer.subscribe(lambda r: ...)``.
+        """
         self._subscribers.append(fn)
+        return fn
+
+    def unsubscribe(self, fn: Callable[[TraceRecord], None]) -> None:
+        """Detach ``fn``; silently ignores callbacks that are not subscribed."""
+        try:
+            self._subscribers.remove(fn)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------ typed emits
 
@@ -81,6 +156,57 @@ class Tracer:
     def emit_decide(self, time: float, pid: int, value: Any, steps: int, via: str) -> None:
         """Record a consensus decision with its step count and decision path."""
         self.emit(time, pid, KINDS.DECIDE, {"value": value, "steps": steps, "via": via})
+
+    def emit_propose(self, time: float, pid: int, value: Any, instance: Any = None) -> None:
+        """Record a consensus proposal (detailed kind)."""
+        self.emit(
+            time,
+            pid,
+            KINDS.PROPOSE,
+            {"value": describe_value(value), "instance": instance},
+        )
+
+    def emit_round_start(
+        self, time: float, pid: int, round: int, instance: Any = None, phase: str | None = None
+    ) -> None:
+        """Record the start of a round (optionally a named phase within it)."""
+        data: dict[str, Any] = {"round": round, "instance": instance}
+        if phase is not None:
+            data["phase"] = phase
+        self.emit(time, pid, KINDS.ROUND_START, data)
+
+    def emit_round_end(
+        self,
+        time: float,
+        pid: int,
+        outcome: str,
+        steps: int,
+        via: str,
+        value: Any,
+        instance: Any = None,
+    ) -> None:
+        """Record the terminal transition of a consensus instance."""
+        self.emit(
+            time,
+            pid,
+            KINDS.ROUND_END,
+            {
+                "outcome": outcome,
+                "steps": steps,
+                "via": via,
+                "value": describe_value(value),
+                "instance": instance,
+            },
+        )
+
+    def emit_suspect(self, time: float, pid: int, suspect: int) -> None:
+        self.emit(time, pid, KINDS.SUSPECT, {"suspect": suspect})
+
+    def emit_trust(self, time: float, pid: int, suspect: int) -> None:
+        self.emit(time, pid, KINDS.TRUST, {"suspect": suspect})
+
+    def emit_leader_change(self, time: float, pid: int, leader: int | None) -> None:
+        self.emit(time, pid, KINDS.LEADER_CHANGE, {"leader": leader})
 
     # ----------------------------------------------------------------- queries
 

@@ -26,12 +26,16 @@ class LatencySummary:
     stdev: float
     minimum: float
     maximum: float
+    # Defaulted at the end so positional construction (and summaries
+    # serialised before these fields existed) keep working.
+    p50: float = math.nan
+    p99: float = math.nan
 
     @classmethod
     def empty(cls) -> "LatencySummary":
         """The explicit no-samples sentinel."""
         nan = math.nan
-        return cls(0, nan, nan, nan, nan, nan, nan)
+        return cls(0, nan, nan, nan, nan, nan, nan, nan, nan)
 
     @property
     def is_empty(self) -> bool:
@@ -52,6 +56,8 @@ class LatencySummary:
             self.stdev * factor,
             self.minimum * factor,
             self.maximum * factor,
+            self.p50 * factor,
+            self.p99 * factor,
         )
 
 
@@ -88,4 +94,6 @@ def summarize(latencies: Iterable[float]) -> LatencySummary:
         stdev=statistics.stdev(sample) if len(sample) > 1 else 0.0,
         minimum=sample[0],
         maximum=sample[-1],
+        p50=_percentile(sample, 0.5),
+        p99=_percentile(sample, 0.99),
     )

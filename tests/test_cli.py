@@ -271,3 +271,86 @@ class TestCli:
         out = capsys.readouterr().out
         assert "crashed  : [1]" in out
         assert "rejoined" not in out
+
+
+class TestTraceCli:
+    EXPORT = [
+        "trace",
+        "export",
+        "--protocol",
+        "cabcast-l",
+        "--rate",
+        "100",
+        "--duration",
+        "0.3",
+        "--seed",
+        "3",
+    ]
+
+    def test_export_summary_and_self_diff(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main([*self.EXPORT, "--out", str(path)]) == 0
+        assert "wrote    :" in capsys.readouterr().out
+
+        assert main(["trace", "summary", str(path), "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "records  :" in out
+        assert "propose" in out and "round-start" in out
+        assert "fast-path" in out
+
+        assert main(["trace", "diff", str(path), str(path)]) == 0
+        assert "identical:" in capsys.readouterr().out
+
+    def test_export_is_byte_identical_per_seed(self, tmp_path, capsys):
+        first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert main([*self.EXPORT, "--out", str(first)]) == 0
+        assert main([*self.EXPORT, "--out", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_diff_pinpoints_divergence(self, tmp_path, capsys):
+        left, right = tmp_path / "l.jsonl", tmp_path / "r.jsonl"
+        assert main([*self.EXPORT, "--out", str(left)]) == 0
+        assert main(["trace", "export", "--protocol", "cabcast-l", "--rate",
+                     "100", "--duration", "0.3", "--seed", "4",
+                     "--out", str(right)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "diff", str(left), str(right)]) == 1
+        out = capsys.readouterr().out
+        assert "diverged at record" in out
+        assert "t=" in out and "pid=" in out and "kind=" in out
+
+    def test_spans_lists_consensus_and_broadcast_spans(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main([*self.EXPORT, "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "spans", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "consensus[" in out and "decided" in out
+        assert "msg (" in out and "deliveries" in out
+
+    def test_chrome_export_loads_as_trace_event_json(self, tmp_path, capsys):
+        path = tmp_path / "run.chrome.json"
+        assert main([*self.EXPORT, "--format", "chrome", "--out", str(path)]) == 0
+        capsys.readouterr()
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        names = {event["name"] for event in document["traceEvents"]}
+        assert "a-broadcast" in names
+
+    def test_summary_strict_rejects_unknown_kinds(self, tmp_path, capsys):
+        path = tmp_path / "bogus.jsonl"
+        header = {"records": 1, "schema": "repro.trace.v1"}
+        rows = [[0.1, 0, "made-up-kind", None]]
+        path.write_text(
+            json.dumps(header, sort_keys=True, separators=(",", ":"))
+            + "\n"
+            + "\n".join(
+                json.dumps(row, sort_keys=True, separators=(",", ":"))
+                for row in rows
+            )
+            + "\n"
+        )
+        assert main(["trace", "summary", str(path)]) == 0
+        assert "unknown kinds" in capsys.readouterr().err
+        assert main(["trace", "summary", str(path), "--strict"]) == 1

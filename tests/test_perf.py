@@ -1,0 +1,62 @@
+"""Tests for repro.perf: report round-trip and zero-perturbation guarantee."""
+
+import json
+
+from repro.engine.runner import execute_run
+from repro.engine.spec import AbcastRunSpec
+from repro.perf import PERF_SCHEMA, PerfReport
+
+
+SPEC = AbcastRunSpec(
+    protocol="cabcast-l", rate=100.0, duration=0.3, n=4, seed=11, drain=1.5
+)
+
+
+class TestPerfReport:
+    def test_to_dict_from_dict_round_trip(self):
+        report = PerfReport(
+            wall_seconds=0.25,
+            sim_seconds=1.5,
+            events_processed=1234,
+            events_per_wall_second=4936.0,
+            virtual_seconds_per_wall_second=6.0,
+            components={"kernel": {"events": 1234}},
+            profile=("line one", "line two"),
+        )
+        data = report.to_dict()
+        assert data["schema"] == PERF_SCHEMA
+        assert PerfReport.from_dict(data) == report
+        # And a second serialisation of the round-tripped report is stable.
+        assert PerfReport.from_dict(data).to_dict() == data
+
+    def test_profile_is_omitted_when_absent(self):
+        report = PerfReport(
+            wall_seconds=0.1,
+            sim_seconds=1.0,
+            events_processed=10,
+            events_per_wall_second=100.0,
+            virtual_seconds_per_wall_second=10.0,
+            components={},
+        )
+        data = report.to_dict()
+        assert "profile" not in data
+        assert PerfReport.from_dict(data).profile is None
+
+
+class TestPerfDoesNotPerturb:
+    def test_perf_on_leaves_trace_and_report_json_byte_identical(self):
+        plain = execute_run(SPEC)
+        perfed = execute_run(SPEC, collect_perf=True)
+        assert perfed.perf is not None
+        assert perfed.perf["schema"] == PERF_SCHEMA
+
+        # Identical trace: same per-kind counts from the same deterministic run.
+        assert perfed.trace_counts == plain.trace_counts
+
+        # Identical report JSON once the (wall-clock-dependent) perf section
+        # is stripped — perf collection must not touch the simulation.
+        perfed_data = perfed.to_dict()
+        perfed_data.pop("perf")
+        assert json.dumps(perfed_data, sort_keys=True) == json.dumps(
+            plain.to_dict(), sort_keys=True
+        )

@@ -34,6 +34,27 @@ class TestTracer:
         tracer.emit(1.0, 2, "evt")
         assert seen == [TraceRecord(1.0, 2, "evt", None)]
 
+    def test_subscribe_returns_the_callable(self):
+        tracer = Tracer()
+
+        def listener(record):
+            pass
+
+        assert tracer.subscribe(listener) is listener
+
+    def test_unsubscribed_callback_stops_receiving(self):
+        tracer = Tracer()
+        seen = []
+        handle = tracer.subscribe(seen.append)
+        tracer.emit(1.0, 0, "evt")
+        tracer.unsubscribe(handle)
+        tracer.emit(2.0, 0, "evt")
+        assert [r.time for r in seen] == [1.0]
+
+    def test_unsubscribe_unknown_callback_is_a_noop(self):
+        tracer = Tracer()
+        tracer.unsubscribe(lambda r: None)  # must not raise
+
     def test_kinds_and_filter(self):
         tracer = Tracer()
         tracer.emit(1.0, 0, "a")
@@ -53,7 +74,30 @@ class TestKinds:
         assert KINDS.A_BROADCAST == "a-broadcast"
         assert KINDS.A_DELIVER == "a-deliver"
         assert KINDS.DECIDE == "decide"
-        assert KINDS.ALL == {"a-broadcast", "a-deliver", "decide"}
+        assert KINDS.ALL == {
+            "a-broadcast",
+            "a-deliver",
+            "decide",
+            "propose",
+            "round-start",
+            "round-end",
+            "leader-change",
+            "suspect",
+            "trust",
+            "msg-send",
+            "msg-deliver",
+            "rsm-apply",
+            "rsm-snapshot",
+            "rsm-catchup",
+        }
+
+    def test_all_tracks_every_declared_constant(self):
+        declared = {
+            value
+            for name, value in vars(KINDS).items()
+            if name.isupper() and isinstance(value, str)
+        }
+        assert KINDS.ALL == declared
 
     def test_typed_emits_match_raw_emit(self):
         typed, raw = Tracer(), Tracer()
