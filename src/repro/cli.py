@@ -8,9 +8,11 @@
   protocol: client sessions, batching, snapshots, crash + learner rejoin;
   ``--json`` prints the structured report (byte-identical per seed);
 * ``sweep``     — the Figure-2/3 latency-vs-throughput experiment on the
-  parallel engine: ``--jobs N`` fans runs over worker processes,
-  ``--cache DIR`` reuses results by spec hash, ``--json OUT`` exports the
-  structured reports;
+  parallel engine: ``--jobs N`` fans runs over the persistent worker pool
+  (clamped to the available CPUs), ``--cache DIR`` reuses results by spec
+  hash and absorbs each finished cell immediately (interrupted sweeps
+  resume), ``--progress`` streams cells/sec + ETA to stderr, ``--json OUT``
+  exports the structured reports;
 * ``profile``   — one spec run with :mod:`repro.perf` observability:
   per-component event counts, events/sec, virtual-seconds per wall-second,
   optionally a cProfile hot-function table (``--cprofile``);
@@ -172,6 +174,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="write the structured run reports to FILE",
+    )
+    p_sweep.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream per-cell progress (cells/sec, ETA) to stderr",
     )
     p_sweep.add_argument("--no-chart", action="store_true")
 
@@ -395,6 +402,33 @@ def _cmd_protocols(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_progress_printer():
+    """A ``run_sweep`` progress callback streaming cells/sec + ETA to stderr.
+
+    The first call (the cache-scan summary, ``report=None``) anchors the
+    clock, so cells/sec measures executed cells only and cache hits don't
+    inflate the rate.
+    """
+    from time import perf_counter
+
+    state = {"start": None, "base": 0}
+
+    def progress(done: int, total: int, report) -> None:
+        if state["start"] is None:
+            state["start"] = perf_counter()
+            state["base"] = done
+        executed = done - state["base"]
+        elapsed = perf_counter() - state["start"]
+        line = f"\r[{done}/{total}]"
+        if executed and elapsed > 0:
+            rate = executed / elapsed
+            eta = (total - done) / rate
+            line += f" {rate:.1f} cells/s ETA {eta:.0f}s"
+        print(f"{line}   ", end="", file=sys.stderr, flush=True)
+
+    return progress
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     names = [name.strip() for name in args.protocols.split(",") if name.strip()]
     unknown = [
@@ -420,7 +454,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     for name in names:
         group = PROTOCOLS[name].default_n or args.n
         print(f"sweeping {name} (n={group}) ...", file=sys.stderr)
-    sweep = run_sweep(specs, jobs=args.jobs, cache=args.cache)
+    progress = _sweep_progress_printer() if args.progress else None
+    sweep = run_sweep(specs, jobs=args.jobs, cache=args.cache, progress=progress)
+    if progress is not None:
+        print(file=sys.stderr)  # terminate the \r progress line
+    for note in sweep.notes:
+        print(f"note     : {note}", file=sys.stderr)
     if args.cache is not None:
         print(
             f"cache    : {sweep.cache_hits} hits, {sweep.cache_misses} misses "

@@ -20,8 +20,17 @@ Quick use::
 """
 
 from repro.engine.cache import ResultCache
+from repro.engine.pool import (
+    WorkerPool,
+    available_cpus,
+    estimate_cost,
+    plan_chunks,
+    shared_pool,
+    shutdown_shared_pool,
+)
 from repro.engine.report import REPORT_SCHEMA, RunReport
 from repro.engine.runner import (
+    SweepError,
     SweepResult,
     execute_run,
     run_abcast_spec,
@@ -61,7 +70,14 @@ __all__ = [
     "RunReport",
     "REPORT_SCHEMA",
     "ResultCache",
+    "SweepError",
     "SweepResult",
+    "WorkerPool",
+    "available_cpus",
+    "estimate_cost",
+    "plan_chunks",
+    "shared_pool",
+    "shutdown_shared_pool",
     "run_sweep",
     "execute_run",
     "run_abcast_spec",

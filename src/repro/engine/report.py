@@ -12,6 +12,7 @@ the on-disk cache format and the ``sweep --json`` export format.
 from __future__ import annotations
 
 import dataclasses
+import json
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -107,6 +108,15 @@ class RunReport:
         if self.obs is not None:
             data["obs"] = self.obs
         return data
+
+    def to_json(self) -> str:
+        """Canonical JSON document of this report (sorted keys).
+
+        This is the single serialised form of a report — the on-disk cache
+        entry body and the worker → parent wire format — so equal runs
+        always serialise byte-identically, however they were executed.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True)
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunReport":

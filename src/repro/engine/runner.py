@@ -2,10 +2,14 @@
 
 The simulator is deterministic and fully seed-keyed, so a grid of runs
 (protocol × rate × seed) is embarrassingly parallel: :func:`run_sweep` fans
-the cache misses out over a :class:`~concurrent.futures.ProcessPoolExecutor`
-and stitches results back in spec order.  With a :class:`ResultCache`
-attached, re-running a sweep only executes changed cells — the Figure-2/3
-grids and the benchmark suite become incremental.
+the cache misses out over the persistent :mod:`repro.engine.pool` worker
+pool — cost-ordered, longest jobs first — and stitches results back in
+spec order *as they complete*.  Each finished cell is written to the
+:class:`ResultCache` immediately (write-behind), so an interrupted or
+failed sweep resumes from its completed cells, and an optional ``progress``
+callback observes every landing cell.  With a cache attached, re-running a
+sweep only executes changed cells — the Figure-2/3 grids and the benchmark
+suite become incremental.
 
 :func:`run_abcast_spec` / :func:`run_consensus_spec` are the spec-driven
 entry points behind the polymorphic :func:`repro.harness.run_abcast` /
@@ -14,19 +18,21 @@ entry points behind the polymorphic :func:`repro.harness.run_abcast` /
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
-from typing import Sequence, Union
+from typing import Callable, Sequence, Union
 
 from repro.engine.cache import ResultCache
 from repro.engine.report import RunReport
 from repro.engine.spec import AbcastRunSpec, ClusterSpec, ConsensusRunSpec, RsmRunSpec
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.harness.registry import ABCAST, CONSENSUS, get_protocol
 from repro.sim.trace import Tracer
 from repro.workload.metrics import summarize
 
 __all__ = [
+    "SweepError",
     "SweepResult",
     "run_sweep",
     "execute_run",
@@ -228,13 +234,39 @@ def _execute_rsm_run(spec: RsmRunSpec, collect_perf: bool = False) -> RunReport:
     )
 
 
+class SweepError(ReproError):
+    """One or more sweep cells failed.
+
+    Every cell that completed before the failure surfaced is already in the
+    cache (write-behind), so re-running the sweep only re-executes the
+    unfinished cells.  ``failures`` holds ``(spec_key, message)`` pairs in
+    the order the failures were observed; :attr:`spec_key` is the offending
+    key of the first one.
+    """
+
+    def __init__(self, failures: Sequence[tuple[str, str]]) -> None:
+        self.failures = tuple(failures)
+        key, message = self.failures[0]
+        extra = f" (+{len(self.failures) - 1} more)" if len(self.failures) > 1 else ""
+        super().__init__(f"sweep cell {key} failed: {message}{extra}")
+
+    @property
+    def spec_key(self) -> str:
+        return self.failures[0][0]
+
+
 @dataclass
 class SweepResult:
-    """Reports of one sweep, in spec order, plus cache accounting."""
+    """Reports of one sweep, in spec order, plus cache accounting.
+
+    ``notes`` carries human-readable scheduling remarks (currently: the
+    jobs-clamped-to-CPUs note); the CLI echoes them to stderr.
+    """
 
     reports: list[RunReport]
     cache_hits: int = 0
     cache_misses: int = 0
+    notes: tuple[str, ...] = ()
 
     @property
     def hit_rate(self) -> float:
@@ -250,6 +282,10 @@ class SweepResult:
 
 CacheLike = Union[ResultCache, str, os.PathLike, None]
 
+#: Progress observer: called as ``progress(done, total, report)`` once after
+#: the cache scan (``report=None``) and once per freshly completed cell.
+ProgressCallback = Callable[[int, int, "RunReport | None"], None]
+
 
 def _as_cache(cache: CacheLike) -> ResultCache | None:
     if cache is None or isinstance(cache, ResultCache):
@@ -261,46 +297,152 @@ def run_sweep(
     specs: Sequence[AbcastRunSpec | RsmRunSpec],
     jobs: int = 1,
     cache: CacheLike = None,
+    progress: ProgressCallback | None = None,
+    clamp_jobs: bool = True,
 ) -> SweepResult:
     """Execute a grid of abcast/RSM specs, parallel across processes, cached.
 
-    ``jobs`` > 1 fans cache misses over that many worker processes (runs are
-    independent simulations, so results are bitwise identical to serial
-    execution).  ``cache`` — a directory path or :class:`ResultCache` —
-    serves unchanged cells from disk and persists fresh ones.
+    ``jobs`` > 1 fans cache misses over the persistent worker pool
+    (:mod:`repro.engine.pool`): cells are dispatched longest-first in
+    adaptive chunks, stitched back in as they complete, and each freshly
+    executed report is written to ``cache`` immediately, so killing a sweep
+    mid-grid loses nothing that finished.  Runs are independent
+    deterministic simulations, so reports are byte-identical to serial
+    execution (same ``cache_key``, same canonical JSON); parallel-fresh
+    reports are decoded from that JSON, exactly like reports read back from
+    the cache.
+
+    ``jobs`` exceeding the schedulable CPUs is clamped (oversubscription
+    only adds contention) and noted in ``SweepResult.notes``; pass
+    ``clamp_jobs=False`` to force the requested width (tests/benchmarks).
+    ``cache`` — a directory path or :class:`ResultCache` — serves unchanged
+    cells from disk and persists fresh ones.  ``progress`` observes
+    completion: ``progress(done, total, report)`` after the cache scan
+    (``report=None``) and per fresh cell.
+
+    A failing cell raises :class:`SweepError` carrying the offending spec's
+    key — after every already-running cell has been drained into the cache.
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
-    store = _as_cache(cache)
+    # Imported lazily: single-job CLI start-up stays free of pool machinery.
+    from repro.engine.pool import available_cpus
 
-    reports: list[RunReport | None] = [None] * len(specs)
+    notes: list[str] = []
+    if clamp_jobs and jobs > 1:
+        cpus = available_cpus()
+        if jobs > cpus:
+            notes.append(f"jobs clamped from {jobs} to {cpus} available CPU(s)")
+            jobs = cpus
+
+    store = _as_cache(cache)
+    total = len(specs)
+    reports: list[RunReport | None] = [None] * total
     pending: list[tuple[int, AbcastRunSpec | RsmRunSpec]] = []
     hits = 0
-    for index, spec in enumerate(specs):
-        cached = store.get(spec) if store is not None else None
-        if cached is not None:
-            reports[index] = cached
-            hits += 1
-        else:
-            pending.append((index, spec))
+    if store is not None:
+        for index, cached in enumerate(store.get_many(specs)):
+            if cached is not None:
+                reports[index] = cached
+                hits += 1
+            else:
+                pending.append((index, specs[index]))
+    else:
+        pending = list(enumerate(specs))
+
+    if progress is not None:
+        progress(hits, total, None)
 
     if pending:
-        todo = [spec for _, spec in pending]
         if jobs > 1 and len(pending) > 1:
-            # Imported lazily: the pool (and its fork machinery) is only
-            # needed for parallel runs, and single-job CLI start-up is hot.
-            from concurrent.futures import ProcessPoolExecutor
-
-            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-                fresh = list(pool.map(execute_run, todo))
+            _run_parallel(pending, jobs, reports, store, progress, hits, total)
         else:
-            fresh = [execute_run(spec) for spec in todo]
-        for (index, _), report in zip(pending, fresh):
-            reports[index] = report
-            if store is not None:
-                store.put(report)
+            done = hits
+            for index, spec in pending:
+                try:
+                    report = execute_run(spec)
+                except Exception as exc:
+                    raise SweepError(
+                        [(spec.cache_key(), f"{type(exc).__name__}: {exc}")]
+                    ) from exc
+                reports[index] = report
+                if store is not None:
+                    store.put(report)
+                done += 1
+                if progress is not None:
+                    progress(done, total, report)
 
-    return SweepResult(reports=reports, cache_hits=hits, cache_misses=len(pending))
+    return SweepResult(
+        reports=reports,
+        cache_hits=hits,
+        cache_misses=len(pending),
+        notes=tuple(notes),
+    )
+
+
+def _run_parallel(
+    pending: list[tuple[int, AbcastRunSpec | RsmRunSpec]],
+    jobs: int,
+    reports: list[RunReport | None],
+    store: ResultCache | None,
+    progress: ProgressCallback | None,
+    hits: int,
+    total: int,
+) -> None:
+    """Fan ``pending`` cells over the shared pool, streaming results in.
+
+    Chunks are dispatched longest-first with at most ``jobs`` in flight (the
+    shared pool may be wider than this sweep asked for).  Results land via
+    ``FIRST_COMPLETED`` waits: each report is stitched into ``reports`` and
+    written behind to ``store`` the moment its chunk finishes.  On failure,
+    no new chunks are submitted, the in-flight ones are drained (their
+    completed cells still cached), and a :class:`SweepError` surfaces the
+    offending spec keys.
+    """
+    from concurrent.futures import FIRST_COMPLETED, wait
+
+    from repro.engine.pool import plan_chunks, shared_pool
+
+    pool = shared_pool(jobs)
+    chunk_iter = iter(plan_chunks(pending, jobs))
+    in_flight = {}
+    for _ in range(jobs):
+        chunk = next(chunk_iter, None)
+        if chunk is None:
+            break
+        in_flight[pool.submit_chunk(chunk)] = chunk
+
+    by_index = dict(pending)
+    failures: list[tuple[str, str]] = []
+    done = hits
+    while in_flight:
+        finished, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+        for future in finished:
+            chunk = in_flight.pop(future)
+            try:
+                results = future.result()
+            except Exception as exc:  # pool-level death (BrokenProcessPool)
+                key = by_index[chunk[0][0]].cache_key()
+                failures.append((key, f"{type(exc).__name__}: {exc}"))
+                continue
+            for index, status, payload in results:
+                text = payload.decode("utf-8")
+                if status != "ok":
+                    failures.append((by_index[index].cache_key(), text))
+                    continue
+                report = RunReport.from_dict(json.loads(text))
+                reports[index] = report
+                if store is not None:
+                    store.put(report, text=text)
+                done += 1
+                if progress is not None:
+                    progress(done, total, report)
+            if not failures:
+                chunk = next(chunk_iter, None)
+                if chunk is not None:
+                    in_flight[pool.submit_chunk(chunk)] = chunk
+    if failures:
+        raise SweepError(failures)
 
 
 def sweep_grid(

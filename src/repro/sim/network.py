@@ -302,6 +302,14 @@ def _dataclass_repr_template(tp: type) -> tuple[tuple[str, ...], int] | None:
     return names, overhead
 
 
+#: Cap on the identity-keyed memo dicts (``_scope_overhead``,
+#: ``_frozenset_lens``).  Long RSM runs mint fresh scope tuples and estimate
+#: frozensets indefinitely; past the cap the oldest entry is evicted (dicts
+#: iterate in insertion order), which only costs a recomputation — never
+#: exactness — if that entry is ever needed again.
+STATS_MEMO_CAP = 4096
+
+
 class NetworkStats:
     """Counts messages, payload classes and estimated bytes on the network.
 
@@ -374,7 +382,10 @@ class NetworkStats:
                     overhead = cached[1]
                 else:
                     overhead = len(repr(Scoped(scope, None))) - _NONE_REPR_LEN
-                    self._scope_overhead[id(scope)] = (scope, overhead)
+                    memo = self._scope_overhead
+                    memo[id(scope)] = (scope, overhead)
+                    if len(memo) > STATS_MEMO_CAP:
+                        del memo[next(iter(memo))]
                 inner = payload.inner
                 if inner is self._last_sent_inner and inner is not None:
                     kind = self._last_sent_inner_kind
@@ -419,7 +430,10 @@ class NetworkStats:
                 overhead = cached[1]
             else:
                 overhead = len(repr(Scoped(scope, None))) - _NONE_REPR_LEN
-                self._scope_overhead[id(scope)] = (scope, overhead)
+                memo = self._scope_overhead
+                memo[id(scope)] = (scope, overhead)
+                if len(memo) > STATS_MEMO_CAP:
+                    del memo[next(iter(memo))]
             inner = payload.inner
             if inner is self._last_inner and inner is not None:
                 return overhead + self._last_inner_len
@@ -432,7 +446,10 @@ class NetworkStats:
             if cached is not None and cached[0] is payload:
                 return cached[1]
             length = len(repr(payload))
-            self._frozenset_lens[id(payload)] = (payload, length)
+            memo = self._frozenset_lens
+            memo[id(payload)] = (payload, length)
+            if len(memo) > STATS_MEMO_CAP:
+                del memo[next(iter(memo))]
             return length
         template = self._repr_templates.get(tp)
         if template is None:
@@ -573,8 +590,9 @@ class Network:
         self._pids_sorted = tuple(sorted(self._nodes))
 
     @property
-    def pids(self) -> list[int]:
-        return list(self._pids_sorted)
+    def pids(self) -> tuple[int, ...]:
+        """Registered pids, sorted — the cached tuple itself, never a copy."""
+        return self._pids_sorted
 
     # --------------------------------------------------------- fault injection
 
@@ -639,7 +657,10 @@ class Network:
                     overhead = cached[1]
                 else:
                     overhead = len(repr(Scoped(scope, None))) - _NONE_REPR_LEN
-                    stats._scope_overhead[id(scope)] = (scope, overhead)
+                    memo = stats._scope_overhead
+                    memo[id(scope)] = (scope, overhead)
+                    if len(memo) > STATS_MEMO_CAP:
+                        del memo[next(iter(memo))]
                 inner = payload.inner
                 if inner is stats._last_sent_inner and inner is not None:
                     kind = stats._last_sent_inner_kind

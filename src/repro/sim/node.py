@@ -321,8 +321,10 @@ class Cluster:
             )
 
     @property
-    def pids(self) -> list[int]:
-        return sorted(self.nodes)
+    def pids(self) -> tuple[int, ...]:
+        # The network's registry tuple is already sorted and cached; every
+        # cluster node is registered on it, so membership is identical.
+        return self.network.pids
 
     @property
     def processes(self) -> dict[int, Process]:

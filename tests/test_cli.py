@@ -160,6 +160,28 @@ class TestCli:
         assert code == 0
         assert "msg/s" in capsys.readouterr().out
 
+    def test_sweep_progress_streams_to_stderr(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--protocols",
+                "cabcast-p",
+                "--rates",
+                "20,50",
+                "--duration",
+                "0.3",
+                "--progress",
+                "--no-chart",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "msg/s" in captured.out
+        # The progress line streams cell completions to stderr, ending at
+        # the full grid; the report table on stdout stays clean.
+        assert "[2/2]" in captured.err
+        assert "[2/2]" not in captured.out
+
     def test_sweep_multipaxos_uses_paper_group_size(self, capsys):
         code = main(
             [

@@ -11,7 +11,11 @@ from repro.engine import (
     ConsensusRunSpec,
     ResultCache,
     RunReport,
+    RsmRunSpec,
+    SweepError,
+    estimate_cost,
     execute_run,
+    plan_chunks,
     run_sweep,
     spec_from_dict,
     sweep_grid,
@@ -215,10 +219,17 @@ class TestRunSweep:
     def test_parallel_matches_serial_hash_for_hash(self):
         specs = self.grid()
         serial = run_sweep(specs, jobs=1)
-        parallel = run_sweep(specs, jobs=4)
+        # clamp_jobs=False forces the real worker-pool path even on a
+        # single-CPU machine, where jobs=4 would clamp to serial execution.
+        parallel = run_sweep(specs, jobs=4, clamp_jobs=False)
         assert [r.key for r in serial.reports] == [r.key for r in parallel.reports]
         assert [r.to_dict() for r in serial.reports] == [
             r.to_dict() for r in parallel.reports
+        ]
+        # Byte-identical canonical JSON: the acceptance bar for the sweep
+        # engine — parallel transfer/decoding must not perturb a single byte.
+        assert [r.to_json() for r in serial.reports] == [
+            r.to_json() for r in parallel.reports
         ]
 
     def test_second_invocation_served_entirely_from_cache(self, tmp_path):
@@ -255,3 +266,219 @@ class TestRunSweep:
     def test_invalid_jobs(self):
         with pytest.raises(ConfigurationError):
             run_sweep([], jobs=0)
+
+    def test_oversubscribed_jobs_clamped_with_note(self):
+        sweep = run_sweep(self.grid(), jobs=9999)
+        assert len(sweep.reports) == 4
+        assert any("clamped" in note for note in sweep.notes)
+
+    def test_exact_jobs_leave_no_note(self):
+        assert run_sweep(self.grid(), jobs=1).notes == ()
+
+
+class TestCostScheduling:
+    def test_cost_ranks_by_offered_work(self):
+        cheap = quick_spec(rate=20.0)
+        dear = quick_spec(rate=500.0)
+        assert estimate_cost(dear) > estimate_cost(cheap)
+        assert estimate_cost(quick_spec(duration=0.6)) > estimate_cost(
+            quick_spec(duration=0.3)
+        )
+
+    def test_rsm_cost_counts_clients(self):
+        base = dict(protocol="cabcast-l", rate=100.0, duration=0.5, n=4, seed=0)
+        assert estimate_cost(RsmRunSpec(clients=16, **base)) > estimate_cost(
+            RsmRunSpec(clients=2, **base)
+        )
+
+    def test_chunks_cover_every_cell_exactly_once(self):
+        items = list(enumerate(quick_spec(rate=rate) for rate in (20, 500, 60, 300)))
+        chunks = plan_chunks(items, workers=2)
+        flat = [index for chunk in chunks for index, _ in chunk]
+        assert sorted(flat) == [0, 1, 2, 3]
+
+    def test_chunks_dispatch_longest_first(self):
+        items = list(enumerate(quick_spec(rate=rate) for rate in (20, 500, 60, 300)))
+        chunks = plan_chunks(items, workers=2)
+        first_costs = [estimate_cost(chunk[0][1]) for chunk in chunks]
+        assert first_costs == sorted(first_costs, reverse=True)
+        # The most expensive cell leads the plan.
+        assert chunks[0][0][0] == 1
+
+    def test_chunk_planning_is_deterministic(self):
+        items = list(enumerate(quick_spec(seed=seed) for seed in range(10)))
+        assert plan_chunks(items, workers=3) == plan_chunks(items, workers=3)
+
+
+class TestSweepStreaming:
+    def grid(self):
+        return sweep_grid(
+            ["cabcast-p", "wabcast"],
+            rates=[30, 60],
+            duration=0.3,
+            warmup=0.1,
+            drain=0.5,
+            seed=5,
+        )
+
+    def test_progress_reports_every_fresh_cell(self):
+        calls = []
+        specs = self.grid()
+        run_sweep(specs, progress=lambda done, total, report: calls.append(
+            (done, total, report)
+        ))
+        # Cache-scan summary first (no cache: zero hits), then one call per
+        # executed cell, monotonically, ending at the full grid.
+        assert calls[0] == (0, len(specs), None)
+        assert [done for done, _, _ in calls] == list(range(len(specs) + 1))
+        assert all(report is not None for _, _, report in calls[1:])
+
+    def test_progress_counts_cache_hits_up_front(self, tmp_path):
+        specs = self.grid()
+        run_sweep(specs, cache=tmp_path)
+        calls = []
+        run_sweep(specs, cache=tmp_path, progress=lambda *call: calls.append(call))
+        assert calls == [(len(specs), len(specs), None)]
+
+    def test_parallel_progress_streams_as_cells_land(self):
+        calls = []
+        specs = self.grid()
+        run_sweep(
+            specs,
+            jobs=2,
+            clamp_jobs=False,
+            progress=lambda done, total, report: calls.append(done),
+        )
+        assert calls[-1] == len(specs)
+        assert calls == sorted(calls)
+
+    def test_each_completed_cell_is_cached_immediately(self, tmp_path):
+        # Write-behind: after every progress call, the reported cell must
+        # already be readable from the cache by a fresh instance.
+        specs = self.grid()
+
+        def check(done, total, report):
+            if report is not None:
+                assert ResultCache(tmp_path).get(report.spec) is not None
+
+        run_sweep(specs, cache=tmp_path, progress=check)
+
+
+class TestInterruptedSweep:
+    """A failing cell must surface its spec key while every completed cell
+    stays in the cache, so re-running the sweep resumes incrementally."""
+
+    def goods(self):
+        return [quick_spec(seed=seed) for seed in (1, 2, 3)]
+
+    def bad(self):
+        # Unknown protocol: passes spec validation, fails at execution time.
+        return quick_spec(protocol="no-such-protocol", rate=999.0)
+
+    def test_serial_failure_keeps_completed_cells(self, tmp_path):
+        goods = self.goods()
+        bad = self.bad()
+        grid = goods[:2] + [bad] + goods[2:]
+        with pytest.raises(SweepError) as excinfo:
+            run_sweep(grid, cache=tmp_path)
+        assert excinfo.value.spec_key == bad.cache_key()
+        assert bad.cache_key() in str(excinfo.value)
+        # Cells before the failure completed and were written behind.
+        cache = ResultCache(tmp_path)
+        assert cache.get(goods[0]) is not None
+        assert cache.get(goods[1]) is not None
+        assert cache.get(bad) is None
+        # Resume: only the unfinished cell re-executes.
+        resumed = run_sweep(goods, cache=tmp_path)
+        assert (resumed.cache_hits, resumed.cache_misses) == (2, 1)
+
+    def test_parallel_failure_keeps_completed_cells(self, tmp_path):
+        goods = self.goods()
+        bad = self.bad()
+        with pytest.raises(SweepError) as excinfo:
+            run_sweep(goods + [bad], jobs=2, cache=tmp_path, clamp_jobs=False)
+        assert bad.cache_key() in [key for key, _ in excinfo.value.failures]
+        cache = ResultCache(tmp_path)
+        assert cache.get(bad) is None
+        completed = [spec for spec in goods if cache.get(spec) is not None]
+        # Resume proves cache-hit accounting: finished cells hit, the rest run.
+        resumed = run_sweep(goods, jobs=2, cache=tmp_path, clamp_jobs=False)
+        assert resumed.cache_hits == len(completed)
+        assert resumed.cache_misses == len(goods) - len(completed)
+        assert all(report is not None for report in resumed.reports)
+
+
+class TestResultCacheV2:
+    def test_get_many_put_many_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = [quick_spec(seed=seed) for seed in (1, 2, 3)]
+        reports = [execute_run(spec) for spec in specs[:2]]
+        cache.put_many(reports)
+        got = cache.get_many(specs)
+        assert [r.to_dict() for r in got[:2]] == [r.to_dict() for r in reports]
+        assert got[2] is None
+
+    def test_gzip_entries_round_trip(self, tmp_path):
+        spec = quick_spec()
+        report = execute_run(spec)
+        gz = ResultCache(tmp_path, compress=True)
+        path = gz.put(report)
+        assert path.name.endswith(".json.gz")
+        assert not gz.path_for(spec.cache_key()).exists()
+        # A plain cache reads compressed entries transparently...
+        assert ResultCache(tmp_path).get(spec).to_dict() == report.to_dict()
+        # ...and a compressing cache reads legacy .json entries unchanged.
+        other = quick_spec(seed=123)
+        ResultCache(tmp_path).put(execute_run(other))
+        assert gz.get(other) is not None
+
+    def test_gzip_entries_are_deterministic(self, tmp_path):
+        # mtime=0 in the gzip header: equal reports → byte-identical entries.
+        report = execute_run(quick_spec())
+        first = ResultCache(tmp_path / "a", compress=True).put(report)
+        second = ResultCache(tmp_path / "b", compress=True).put(report)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_corrupt_gzip_entry_is_a_miss(self, tmp_path):
+        spec = quick_spec()
+        gz = ResultCache(tmp_path, compress=True)
+        path = gz.put(execute_run(spec))
+        path.write_bytes(b"\x1f\x8b not actually gzip")
+        assert ResultCache(tmp_path).get(spec) is None
+
+    def test_lru_serves_repeat_reads_from_memory(self, tmp_path):
+        spec = quick_spec()
+        cache = ResultCache(tmp_path)
+        cache.put(execute_run(spec))
+        first = cache.get(spec)  # disk read populates the LRU
+        cache.path_for(spec.cache_key()).unlink()
+        assert cache.get(spec) is first  # served from memory, same object
+        # A fresh instance has no memory and sees the miss.
+        assert ResultCache(tmp_path).get(spec) is None
+
+    def test_lru_is_not_populated_by_put(self, tmp_path):
+        # Read-through only: external corruption after a put must still be
+        # detected on the first read by this same instance.
+        spec = quick_spec()
+        cache = ResultCache(tmp_path)
+        cache.put(execute_run(spec))
+        cache.path_for(spec.cache_key()).write_text("{ corrupted")
+        assert cache.get(spec) is None
+
+    def test_lru_can_be_disabled(self, tmp_path):
+        spec = quick_spec()
+        cache = ResultCache(tmp_path, memory_entries=0)
+        cache.put(execute_run(spec))
+        assert cache.get(spec) is not None
+        cache.path_for(spec.cache_key()).unlink()
+        assert cache.get(spec) is None
+
+    def test_lru_evicts_oldest(self, tmp_path):
+        cache = ResultCache(tmp_path, memory_entries=2)
+        specs = [quick_spec(seed=seed) for seed in (1, 2, 3)]
+        for spec in specs:
+            cache.put(execute_run(spec))
+            cache.get(spec)
+        assert len(cache._memory) == 2
+        assert specs[0].cache_key() not in cache._memory
+        assert specs[2].cache_key() in cache._memory

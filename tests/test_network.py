@@ -263,3 +263,59 @@ class TestStats:
         net.send(0, 1, Scoped(("cons", 1), Scoped(("x",), 42)))
         sim.run()
         assert net.stats.by_kind["int"] == 1
+
+    def test_pids_exposes_cached_tuple(self):
+        _, net, _ = make_net(n=3)
+        assert net.pids == (0, 1, 2)
+        # The property hands out the cached tuple itself, not a fresh copy.
+        assert net.pids is net.pids
+
+
+class TestStatsMemoBounds:
+    """The identity-keyed memo dicts must stay bounded without costing
+    exactness: long runs mint fresh scope tuples and estimate frozensets
+    forever, so past the cap the oldest entries are evicted and simply
+    recomputed on re-use."""
+
+    def _exact(self, payloads, monkeypatch, cap):
+        import repro.sim.network as network_mod
+        from repro.sim.network import HEADER_BYTES
+
+        monkeypatch.setattr(network_mod, "STATS_MEMO_CAP", cap)
+        sim, net, _ = make_net(delay=ConstantDelay(1e-3))
+        for payload in payloads:
+            net.send(0, 1, payload)
+        sim.run()
+        expected = sum(HEADER_BYTES + len(repr(p)) for p in payloads)
+        assert net.stats.bytes_sent == expected
+        return net.stats
+
+    def test_frozenset_memo_is_bounded_and_exact(self, monkeypatch):
+        distinct = [frozenset({i, i + 1}) for i in range(50)]
+        # Re-send early ones after they have been evicted: recompute, same total.
+        payloads = distinct + distinct[:10]
+        stats = self._exact(payloads, monkeypatch, cap=8)
+        assert len(stats._frozenset_lens) <= 8
+
+    def test_scope_memo_is_bounded_and_exact(self, monkeypatch):
+        from repro.sim.process import Scoped
+
+        distinct = [Scoped(("mod", i), ("payload", i)) for i in range(50)]
+        payloads = distinct + distinct[:10]
+        stats = self._exact(payloads, monkeypatch, cap=8)
+        assert len(stats._scope_overhead) <= 8
+
+    def test_record_sent_path_is_bounded_too(self, monkeypatch):
+        import repro.sim.network as network_mod
+        from repro.sim.network import Envelope, HEADER_BYTES, NetworkStats
+        from repro.sim.process import Scoped
+
+        monkeypatch.setattr(network_mod, "STATS_MEMO_CAP", 8)
+        stats = NetworkStats()
+        payloads = [Scoped(("svc", i), ("body", i)) for i in range(40)]
+        for payload in payloads:
+            stats.record_sent(Envelope(0, 1, payload, RELIABLE, 0.0))
+        assert len(stats._scope_overhead) <= 8
+        assert stats.bytes_sent == sum(
+            HEADER_BYTES + len(repr(p)) for p in payloads
+        )

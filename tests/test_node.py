@@ -207,7 +207,9 @@ class TestCluster:
         cluster = Cluster(3, lambda pid, pids: Recorder(), delay=ConstantDelay(1e-3))
         cluster.start()
         cluster.run()
-        assert cluster.pids == [0, 1, 2]
+        # The cached, sorted registry tuple is exposed directly (no copy).
+        assert cluster.pids == (0, 1, 2)
+        assert cluster.pids is cluster.network.pids
         for proc in cluster.processes.values():
             assert proc.events[0][0] == "start"
 
