@@ -107,6 +107,7 @@ _EXPORTS = {
     "IntegrityViolation": "repro.errors",
     "TotalOrderViolation": "repro.errors",
     "LinearizabilityViolation": "repro.errors",
+    "SerializabilityViolation": "repro.errors",
     "TerminationFailure": "repro.errors",
 }
 
@@ -154,6 +155,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         LinearizabilityViolation,
         ProtocolViolation,
         ReproError,
+        SerializabilityViolation,
         SimulationError,
         TerminationFailure,
         TotalOrderViolation,

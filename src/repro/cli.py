@@ -6,13 +6,16 @@
 * ``abcast``    — an atomic-broadcast session with a Poisson workload;
 * ``rsm``       — a replicated KV service (:mod:`repro.rsm`) over any abcast
   protocol: client sessions, batching, snapshots, crash + learner rejoin;
+  ``--shards N`` partitions the key space over N consensus groups and
+  ``--txn-clients``/``--txn-rate`` add cross-shard 2PC transactions;
   ``--json`` prints the structured report (byte-identical per seed);
 * ``sweep``     — the Figure-2/3 latency-vs-throughput experiment on the
   parallel engine: ``--jobs N`` fans runs over the persistent worker pool
   (clamped to the available CPUs), ``--cache DIR`` reuses results by spec
   hash and absorbs each finished cell immediately (interrupted sweeps
   resume), ``--progress`` streams cells/sec + ETA to stderr, ``--json OUT``
-  exports the structured reports;
+  exports the structured reports; ``--shards 1,2,4,8`` switches to the RSM
+  scale-out grid (shard count × ``--group-sizes``) at one offered rate;
 * ``profile``   — one spec run with :mod:`repro.perf` observability:
   per-component event counts, events/sec, virtual-seconds per wall-second,
   optionally a cProfile hot-function table (``--cprofile``);
@@ -118,6 +121,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--workload", choices=("open", "closed"), default="open"
     )
     p_rsm.add_argument("--keys", type=int, default=32, help="KV key-space size")
+    p_rsm.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="independent consensus groups partitioning the key space",
+    )
+    p_rsm.add_argument(
+        "--partitioner",
+        choices=("hash", "range"),
+        default="hash",
+        help="key-to-shard map: stable CRC-32 hash or contiguous ranges",
+    )
+    p_rsm.add_argument(
+        "--txn-clients",
+        type=int,
+        default=0,
+        help="closed-loop cross-shard transaction sessions (2PC over groups)",
+    )
+    p_rsm.add_argument(
+        "--txn-rate",
+        type=float,
+        default=0.0,
+        help="aggregate transactions/s offered by the txn sessions",
+    )
+    p_rsm.add_argument(
+        "--txn-keys",
+        type=int,
+        default=2,
+        help="keys written per transaction (one per distinct shard)",
+    )
     p_rsm.add_argument("--batch-max", type=int, default=8)
     p_rsm.add_argument(
         "--batch-delay", type=float, default=2e-3, metavar="SECONDS"
@@ -158,6 +191,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--seed", type=int, default=0)
     p_sweep.add_argument(
         "--repeats", type=int, default=1, help="independent seeds pooled per point"
+    )
+    p_sweep.add_argument(
+        "--shards",
+        default=None,
+        metavar="LIST",
+        help="RSM scale-out mode: sweep shard counts (e.g. 1,2,4,8) instead of "
+             "rates; the first --rates value is the per-cell offered rate",
+    )
+    p_sweep.add_argument(
+        "--group-sizes",
+        default="3",
+        metavar="LIST",
+        help="group sizes crossed with --shards in scale-out mode",
     )
     p_sweep.add_argument(
         "--jobs", type=int, default=1, help="worker processes for the run grid"
@@ -337,9 +383,22 @@ def _parse_crashes(items: Sequence[str]) -> tuple[tuple[int, float], ...]:
 
 
 def _cmd_rsm(args: argparse.Namespace) -> int:
-    from repro.engine import RsmRunSpec
+    from repro.engine import RsmRunSpec, TopologySpec
     from repro.engine.runner import execute_run
 
+    # Only a non-default topology is spelled out: single-group CLI runs keep
+    # their pre-topology spec dicts (and therefore their cache keys).
+    extra: dict = {}
+    if args.shards != 1 or args.partitioner != "hash":
+        extra["topology"] = TopologySpec(
+            groups=args.shards, partitioner=args.partitioner
+        )
+    if args.txn_clients or args.txn_rate:
+        extra.update(
+            txn_clients=args.txn_clients,
+            txn_rate=args.txn_rate,
+            txn_keys=args.txn_keys,
+        )
     spec = RsmRunSpec(
         protocol=args.protocol,
         rate=args.rate,
@@ -355,6 +414,7 @@ def _cmd_rsm(args: argparse.Namespace) -> int:
         recover_after=None if args.recover_after < 0 else args.recover_after,
         cluster=PAPER_LAN,
         crash_at=_parse_crashes(args.crash),
+        **extra,
     )
     report = execute_run(spec)
     if args.json_out:
@@ -363,28 +423,52 @@ def _cmd_rsm(args: argparse.Namespace) -> int:
         return 0
     rsm = report.rsm
     latency = rsm["latency_ms"]
-    print(f"protocol : {args.protocol} (n={args.n}, {args.clients} sessions, "
-          f"{args.workload}-loop {args.rate:.0f} ops/s)")
+    sharded = "shards" in rsm
+    if sharded:
+        topology = rsm["topology"]
+        print(f"protocol : {args.protocol} ({topology['groups']} shards × n={args.n} "
+              f"[{topology['partitioner']}], {args.clients} sessions, "
+              f"{args.workload}-loop {args.rate:.0f} ops/s)")
+    else:
+        print(f"protocol : {args.protocol} (n={args.n}, {args.clients} sessions, "
+              f"{args.workload}-loop {args.rate:.0f} ops/s)")
     print(f"committed: {rsm['committed']} commands "
           f"({rsm['ops_per_s']:.0f} ops/s in the window)")
     if latency is not None:
         print(f"latency  : p50 {latency['p50']:.3f} ms, "
               f"p99 {latency['p99']:.3f} ms (mean {latency['mean']:.3f} ms)")
-    print(f"batching : {rsm['batches']['count']} batches, "
-          f"mean size {rsm['batches']['mean_size']:.2f}")
-    print(f"snapshots: {rsm['snapshots']['taken']} taken "
-          f"({rsm['snapshots']['bytes']} bytes), "
-          f"log compacted to index {rsm['snapshots']['last_index']}")
+    if sharded:
+        txns = rsm["txns"]
+        if txns["sessions"]:
+            print(f"txns     : {txns['committed']} committed, "
+                  f"{txns['aborted']} aborted over {txns['sessions']} 2PC "
+                  f"sessions ({txns['conflicts']} saw lock conflicts)")
+        for shard, info in sorted(rsm["shards"].items(), key=lambda kv: int(kv[0])):
+            print(f"  shard {shard}: {info['committed']} commands, "
+                  f"{info['txns_committed']} txn commits, "
+                  f"digest {info['digest'][:12]}…")
+    else:
+        print(f"batching : {rsm['batches']['count']} batches, "
+              f"mean size {rsm['batches']['mean_size']:.2f}")
+    snapshots = rsm["snapshots"]
+    line = f"snapshots: {snapshots['taken']} taken ({snapshots['bytes']} bytes)"
+    if "last_index" in snapshots:
+        line += f", log compacted to index {snapshots['last_index']}"
+    print(line)
     print(f"dedup    : {rsm['dedup']['suppressed']} duplicates suppressed, "
           f"{rsm['dedup']['retries']} client retries")
     if rsm["crashed"]:
         print(f"crashed  : {rsm['crashed']}")
-    for pid, info in sorted(rsm["recovery"].items()):
+    for pid, info in sorted(rsm["recovery"].items(), key=lambda kv: int(kv[0])):
         verdict = "state matches" if info["digest_match"] else "DIVERGED"
         print(f"  p{pid} rejoined from snapshot index {info['installed_index']}, "
               f"replayed {info['replayed']} commands — {verdict}")
-    print(f"checked  : linearizable={str(rsm['linearizable']).lower()}, "
-          f"digest {rsm['digest'][:16]}…")
+    if sharded:
+        print(f"checked  : linearizable per shard + cross-shard serializable="
+              f"{str(rsm['linearizable']).lower()}")
+    else:
+        print(f"checked  : linearizable={str(rsm['linearizable']).lower()}, "
+              f"digest {rsm['digest'][:16]}…")
     return 0
 
 
@@ -429,6 +513,119 @@ def _sweep_progress_printer():
     return progress
 
 
+def _sweep_shard_axis(args: argparse.Namespace, names, rates) -> int:
+    """Scale-out sweep: shard count × group size at one offered rate.
+
+    Each cell is an :class:`RsmRunSpec` built by
+    :func:`~repro.engine.runner.rsm_sweep_grid`; 1-shard cells keep the
+    default topology and therefore hit any pre-topology cache entries.
+    """
+    from repro.engine.runner import rsm_sweep_grid
+
+    shard_counts = [int(s) for s in args.shards.split(",")]
+    sizes = [int(s) for s in args.group_sizes.split(",")]
+    rate = rates[0]
+    specs: list = []
+    for name in names:
+        specs.extend(
+            rsm_sweep_grid(
+                name,
+                rate=rate,
+                duration=args.duration,
+                shards=shard_counts,
+                group_sizes=sizes,
+                seed=args.seed,
+                warmup=min(0.5, args.duration * 0.2),
+                repeats=args.repeats,
+                cluster=PAPER_LAN,
+            )
+        )
+    print(
+        f"sweeping {','.join(names)} over shards {shard_counts} × "
+        f"group sizes {sizes} at {rate:.0f} ops/s ...",
+        file=sys.stderr,
+    )
+    progress = _sweep_progress_printer() if args.progress else None
+    sweep = run_sweep(specs, jobs=args.jobs, cache=args.cache, progress=progress)
+    if progress is not None:
+        print(file=sys.stderr)
+    for note in sweep.notes:
+        print(f"note     : {note}", file=sys.stderr)
+    if args.cache is not None:
+        print(
+            f"cache    : {sweep.cache_hits} hits, {sweep.cache_misses} misses "
+            f"({sweep.hit_rate:.0%} hit rate) in {args.cache}",
+            file=sys.stderr,
+        )
+
+    # Pool repeats into one point per (protocol, shard count, group size).
+    latency: dict[str, list[float]] = {}
+    throughput: dict[str, list[float]] = {}
+    reports = iter(sweep.reports)
+    for name in names:
+        series = {size: ([], []) for size in sizes}
+        for _ in shard_counts:
+            for size in sizes:
+                pooled: list[float] = []
+                ops = 0.0
+                for _ in range(args.repeats):
+                    report = next(reports)
+                    pooled.extend(report.latencies)
+                    ops += report.rsm["ops_per_s"]
+                series[size][0].append(summarize(pooled).scaled(1e3).mean)
+                series[size][1].append(ops / args.repeats)
+        for size in sizes:
+            label = f"{name} g{size}" if len(sizes) > 1 or len(names) > 1 else name
+            latency[label] = series[size][0]
+            throughput[label] = series[size][1]
+
+    labels = list(latency)
+    print(f"{'shards':<10}" + "".join(f"{label:<16}" for label in labels)
+          + " (mean latency ms)")
+    for i, groups in enumerate(shard_counts):
+        row = f"{groups:<10d}"
+        for label in labels:
+            row += f"{latency[label][i]:<16.2f}"
+        print(row)
+    print()
+    print(f"{'shards':<10}" + "".join(f"{label:<16}" for label in labels)
+          + " (committed ops/s)")
+    for i, groups in enumerate(shard_counts):
+        row = f"{groups:<10d}"
+        for label in labels:
+            row += f"{throughput[label][i]:<16.0f}"
+        print(row)
+    if not args.no_chart:
+        print()
+        print(
+            line_chart(
+                latency,
+                shard_counts,
+                title=f"mean latency [ms] vs shards at {rate:.0f} ops/s",
+            )
+        )
+
+    if args.json_out:
+        document = {
+            "schema": SWEEP_JSON_SCHEMA,
+            "grid": {
+                "protocols": names,
+                "rate": rate,
+                "shards": shard_counts,
+                "group_sizes": sizes,
+                "duration": args.duration,
+                "seed": args.seed,
+                "repeats": args.repeats,
+            },
+            "runs": [report.to_dict() for report in sweep.reports],
+        }
+        with open(args.json_out, "w") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote    : {args.json_out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     names = [name.strip() for name in args.protocols.split(",") if name.strip()]
     unknown = [
@@ -440,6 +637,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"unknown protocols: {unknown}", file=sys.stderr)
         return 2
     rates = [float(r) for r in args.rates.split(",")]
+    if args.shards is not None:
+        return _sweep_shard_axis(args, names, rates)
 
     specs = sweep_grid(
         names,
@@ -609,6 +808,11 @@ def _trace_summary(args: argparse.Namespace) -> int:
             for steps, count in summary["steps_histogram"].items()
         )
         print(f"steps    : {hist}")
+    txns = summary.get("txns") or {}
+    if txns.get("count"):
+        print(f"txns     : {txns['count']} transactions — "
+              f"{txns['committed']} committed, {txns['aborted']} aborted, "
+              f"{txns['unfinished']} in flight")
     broadcasts = summary["broadcasts"]
     if broadcasts["count"]:
         line = f"broadcast: {broadcasts['count']} messages"
@@ -652,6 +856,17 @@ def _trace_spans(args: argparse.Namespace) -> int:
         when = f"{latency * 1e3:.3f} ms" if latency is not None else "never delivered"
         print(f"msg {span.msg_id}: origin p{span.origin}, "
               f"{len(span.deliveries)} deliveries, first after {when}")
+    for span in builder.txn_spans():
+        votes = ", ".join(
+            f"s{shard}={vote}" for shard, vote in sorted(span.votes.items())
+        )
+        if span.finished:
+            outcome = (f"{span.decision} in {span.duration * 1e3:.3f} ms"
+                       if span.duration is not None else span.decision)
+        else:
+            outcome = "in flight"
+        print(f"txn {span.txid}: shards {span.shards} via p{span.coordinator_pid}, "
+              f"votes [{votes}] — {outcome}")
     return 0
 
 

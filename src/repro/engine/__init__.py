@@ -33,12 +33,14 @@ from repro.engine.runner import (
     SweepError,
     SweepResult,
     execute_run,
+    rsm_sweep_grid,
     run_abcast_spec,
     run_consensus_spec,
     run_rsm_spec,
     run_sweep,
     sweep_grid,
 )
+from repro.engine.context import RunContext
 from repro.engine.spec import (
     DEFAULT_SERVICE_TIME,
     LAN,
@@ -51,6 +53,7 @@ from repro.engine.spec import (
     ClusterSpec,
     ConsensusRunSpec,
     RsmRunSpec,
+    TopologySpec,
     spec_from_dict,
 )
 
@@ -59,6 +62,8 @@ __all__ = [
     "ClusterSpec",
     "ConsensusRunSpec",
     "RsmRunSpec",
+    "TopologySpec",
+    "RunContext",
     "spec_from_dict",
     "SPEC_VERSION",
     "PAPER_LAN",
@@ -84,4 +89,5 @@ __all__ = [
     "run_consensus_spec",
     "run_rsm_spec",
     "sweep_grid",
+    "rsm_sweep_grid",
 ]

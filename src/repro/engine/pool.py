@@ -78,19 +78,29 @@ def available_cpus() -> int:
 
 
 def estimate_cost(spec) -> float:
-    """Relative cost of executing ``spec``: offered events × group size.
+    """Relative cost of executing ``spec``: offered events × replica count.
 
     ``rate × duration`` approximates the message count a run must simulate
-    and ``n`` scales the per-message fan-out; RSM specs add their client
-    sessions, whose open/closed-loop drivers generate comparable event
-    churn.  The estimate only needs to *rank* cells for scheduling — any
-    spec without the workload fields scores a neutral 1.0.
+    and the replica count scales the per-message fan-out; RSM specs add
+    their client sessions, whose open/closed-loop drivers generate
+    comparable event churn.  Sharded cells count *total* replicas (shards ×
+    group size) plus the transaction sessions — a 8×3 topology simulates
+    24 replicas' worth of events, not 3 — so the LPT scheduler ships wide
+    topologies first.  The estimate only needs to *rank* cells for
+    scheduling — any spec without the workload fields scores a neutral 1.0.
     """
     rate = getattr(spec, "rate", None)
     duration = getattr(spec, "duration", None)
     if rate is None or duration is None:
         return 1.0
-    group = getattr(spec, "n", 1) + getattr(spec, "clients", 0)
+    replicas = getattr(spec, "total_replicas", None)
+    if replicas is None:
+        replicas = getattr(spec, "n", 1)
+    group = (
+        replicas
+        + getattr(spec, "clients", 0)
+        + getattr(spec, "txn_clients", 0)
+    )
     return float(rate) * float(duration) * float(group)
 
 

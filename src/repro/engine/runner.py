@@ -24,8 +24,15 @@ from dataclasses import dataclass
 from typing import Callable, Sequence, Union
 
 from repro.engine.cache import ResultCache
+from repro.engine.context import RunContext
 from repro.engine.report import RunReport
-from repro.engine.spec import AbcastRunSpec, ClusterSpec, ConsensusRunSpec, RsmRunSpec
+from repro.engine.spec import (
+    AbcastRunSpec,
+    ClusterSpec,
+    ConsensusRunSpec,
+    RsmRunSpec,
+    TopologySpec,
+)
 from repro.errors import ConfigurationError, ReproError
 from repro.harness.registry import ABCAST, CONSENSUS, get_protocol
 from repro.sim.trace import Tracer
@@ -40,20 +47,29 @@ __all__ = [
     "run_consensus_spec",
     "run_rsm_spec",
     "sweep_grid",
+    "rsm_sweep_grid",
     "window_latencies",
 ]
 
 
-def run_abcast_spec(spec: AbcastRunSpec, tracer: Tracer | None = None, obs=None):
+def run_abcast_spec(
+    spec: AbcastRunSpec,
+    tracer: Tracer | None = None,
+    obs=None,
+    ctx: RunContext | None = None,
+):
     """Execute one atomic-broadcast spec; returns an ``AbcastRunResult``.
 
     This is the canonical path: it resolves the protocol through the
     registry, generates the workload from the spec and drives the same
     :func:`repro.harness.abcast_runner.run_abcast` machinery as the legacy
-    kwarg signature — same seed, same spec → identical results.
+    kwarg signature — same seed, same spec → identical results.  Pass
+    observation through ``ctx`` (a :class:`RunContext`); the separate
+    ``tracer=``/``obs=`` keywords are the deprecated spelling.
     """
     from repro.harness.abcast_runner import run_abcast
 
+    ctx = RunContext.resolve(ctx, tracer, obs)
     info = get_protocol(spec.protocol, kind=ABCAST)
     cluster = spec.cluster
     return run_abcast(
@@ -73,15 +89,20 @@ def run_abcast_spec(spec: AbcastRunSpec, tracer: Tracer | None = None, obs=None)
         require_all_delivered=spec.require_all_delivered,
         max_events=spec.max_events,
         capacity=cluster.capacity,
-        tracer=tracer,
-        obs=obs,
+        ctx=ctx,
     )
 
 
-def run_consensus_spec(spec: ConsensusRunSpec, tracer: Tracer | None = None, obs=None):
+def run_consensus_spec(
+    spec: ConsensusRunSpec,
+    tracer: Tracer | None = None,
+    obs=None,
+    ctx: RunContext | None = None,
+):
     """Execute one consensus spec; returns a ``ConsensusRunResult``."""
     from repro.harness.consensus_runner import run_consensus
 
+    ctx = RunContext.resolve(ctx, tracer, obs)
     info = get_protocol(spec.protocol, kind=CONSENSUS)
     cluster = spec.cluster
     return run_consensus(
@@ -97,16 +118,22 @@ def run_consensus_spec(spec: ConsensusRunSpec, tracer: Tracer | None = None, obs
         check=spec.check,
         require_all_alive_decide=spec.require_all_alive_decide,
         service_time=cluster.service_time,
-        tracer=tracer,
-        obs=obs,
+        ctx=ctx,
     )
 
 
-def run_rsm_spec(spec: RsmRunSpec, tracer: Tracer | None = None, obs=None):
-    """Execute one RSM service spec; returns an ``RsmRunResult``."""
+def run_rsm_spec(
+    spec: RsmRunSpec,
+    tracer: Tracer | None = None,
+    obs=None,
+    ctx: RunContext | None = None,
+):
+    """Execute one RSM service spec; returns an ``RsmRunResult`` (or a
+    ``ShardedRsmRunResult`` when the spec's topology asks for shards or the
+    workload includes cross-shard transactions)."""
     from repro.rsm.runner import run_rsm
 
-    return run_rsm(spec, tracer=tracer, obs=obs)
+    return run_rsm(spec, ctx=RunContext.resolve(ctx, tracer, obs))
 
 
 def _obs_runtime(spec, tracer: Tracer):
@@ -158,7 +185,8 @@ def execute_run(
     if isinstance(spec, RsmRunSpec):
         return _execute_rsm_run(spec, collect_perf=collect_perf)
     tracer = Tracer()
-    obs = _obs_runtime(spec, tracer)
+    ctx = RunContext(tracer=tracer, obs=_obs_runtime(spec, tracer))
+    obs = ctx.obs
     perf = None
     if collect_perf:
         from time import perf_counter
@@ -166,7 +194,7 @@ def execute_run(
         from repro.perf import collect
 
         wall_start = perf_counter()
-        result = run_abcast_spec(spec, tracer=tracer, obs=obs)
+        result = run_abcast_spec(spec, ctx=ctx)
         wall_seconds = perf_counter() - wall_start
         perf = collect(
             result.sim,
@@ -176,7 +204,7 @@ def execute_run(
             trace_counts=tracer.counts(),
         ).to_dict()
     else:
-        result = run_abcast_spec(spec, tracer=tracer, obs=obs)
+        result = run_abcast_spec(spec, ctx=ctx)
     offered, latencies = window_latencies(result, spec.warmup, spec.duration)
     return RunReport(
         spec=spec,
@@ -198,7 +226,8 @@ def _execute_rsm_run(spec: RsmRunSpec, collect_perf: bool = False) -> RunReport:
     from repro.rsm.runner import service_metrics, window_commit_latencies
 
     tracer = Tracer()
-    obs = _obs_runtime(spec, tracer)
+    ctx = RunContext(tracer=tracer, obs=_obs_runtime(spec, tracer))
+    obs = ctx.obs
     perf = None
     if collect_perf:
         from time import perf_counter
@@ -206,7 +235,7 @@ def _execute_rsm_run(spec: RsmRunSpec, collect_perf: bool = False) -> RunReport:
         from repro.perf import collect
 
         wall_start = perf_counter()
-        result = run_rsm_spec(spec, tracer=tracer, obs=obs)
+        result = run_rsm_spec(spec, ctx=ctx)
         wall_seconds = perf_counter() - wall_start
         perf = collect(
             result.sim,
@@ -216,7 +245,7 @@ def _execute_rsm_run(spec: RsmRunSpec, collect_perf: bool = False) -> RunReport:
             trace_counts=tracer.counts(),
         ).to_dict()
     else:
-        result = run_rsm_spec(spec, tracer=tracer, obs=obs)
+        result = run_rsm_spec(spec, ctx=ctx)
     offered, latencies = window_commit_latencies(result)
     return RunReport(
         spec=spec,
@@ -483,6 +512,63 @@ def sweep_grid(
                         drain=drain,
                         cluster=cluster,
                         require_all_delivered=require_all_delivered,
+                        max_events=max_events,
+                    )
+                )
+    return specs
+
+
+def rsm_sweep_grid(
+    protocol: str,
+    rate: float,
+    duration: float,
+    shards: Sequence[int] = (1,),
+    group_sizes: Sequence[int] = (3,),
+    clients: int = 8,
+    seed: int = 0,
+    warmup: float = 0.0,
+    keys: int = 32,
+    partitioner: str = "hash",
+    txn_clients: int = 0,
+    txn_rate: float = 0.0,
+    txn_keys: int = 2,
+    repeats: int = 1,
+    cluster: ClusterSpec | None = None,
+    max_events: int | None = 4_000_000,
+) -> list[RsmRunSpec]:
+    """Build the shards × group-size spec grid of a scale-out RSM sweep.
+
+    This is the shard-axis analogue of :func:`sweep_grid`: one cell per
+    (shard count, group size, repeat), all at the same offered rate, so
+    BENCH/EXPERIMENTS can plot aggregate ops/s against the shard count.
+    Cells repeat with seeds ``seed + 1000 × repeat``, mirroring the
+    historical repeat derivation.  Single-cell topologies (1 × n) keep the
+    default ``TopologySpec`` and therefore the PR-5 cache keys.
+    """
+    cluster = cluster if cluster is not None else ClusterSpec()
+    specs: list[RsmRunSpec] = []
+    for groups in shards:
+        for size in group_sizes:
+            for repeat in range(repeats):
+                specs.append(
+                    RsmRunSpec(
+                        protocol=protocol,
+                        rate=rate,
+                        duration=duration,
+                        n=size,
+                        clients=clients,
+                        seed=seed + 1000 * repeat,
+                        warmup=warmup,
+                        keys=keys,
+                        cluster=cluster,
+                        topology=(
+                            TopologySpec()
+                            if groups == 1 and partitioner == "hash"
+                            else TopologySpec(groups=groups, partitioner=partitioner)
+                        ),
+                        txn_clients=txn_clients,
+                        txn_rate=txn_rate,
+                        txn_keys=txn_keys,
                         max_events=max_events,
                     )
                 )

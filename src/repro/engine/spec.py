@@ -9,10 +9,15 @@ already on disk.
 
 The family:
 
-* :class:`ClusterSpec`   — network/fault model shared by both run kinds;
+* :class:`ClusterSpec`   — network/fault model shared by all run kinds;
+* :class:`TopologySpec`  — consensus-group layout (shard count, members per
+  group, key partitioning) of a service run;
 * :class:`AbcastRunSpec` — one atomic-broadcast run under an open-loop
   Poisson (or uniform) workload — one cell of a Figure-2/3 sweep;
-* :class:`ConsensusRunSpec` — one consensus instance (Table-1 style runs).
+* :class:`ConsensusRunSpec` — one consensus instance (Table-1 style runs);
+* :class:`RsmRunSpec`    — one replicated-state-machine service run, from a
+  single group up to a sharded multi-group deployment with cross-shard
+  transactions.
 
 This module also pins the paper's testbed calibration (the ``LAN*``
 presets previously owned by :mod:`repro.workload.experiment`, which still
@@ -41,6 +46,7 @@ from repro.sim.network import (
 __all__ = [
     "SPEC_VERSION",
     "ClusterSpec",
+    "TopologySpec",
     "AbcastRunSpec",
     "ConsensusRunSpec",
     "RsmRunSpec",
@@ -169,6 +175,71 @@ PAPER_LAN = ClusterSpec(
     capacity=LAN_CAPACITY,
     service_time=DEFAULT_SERVICE_TIME,
 )
+
+
+#: Key-partitioning strategies understood by the shard router.
+PARTITIONERS = ("hash", "range")
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """How a service run is laid out over consensus groups.
+
+    The topology is the *first* question a production deployment answers —
+    how many independent replication groups (shards), how many members each,
+    and how the key space maps onto them — so it is a first-class, frozen,
+    content-addressed part of the run description rather than loose keyword
+    arguments.
+
+    ``groups`` is the shard count; each shard runs its own instance of the
+    run's abcast protocol over ``group_size`` replicas (``None`` inherits
+    the run spec's ``n``, keeping single-group specs unchanged).
+    ``partitioner`` maps keys to shards: ``"hash"`` spreads keys by a stable
+    CRC-32, ``"range"`` splits the ordered key space into contiguous slices.
+
+    The default topology (one group, inherited size, hash partitioning) is
+    *omitted* from spec dicts entirely, so every pre-topology cache key and
+    report document is preserved byte-for-byte.
+    """
+
+    groups: int = 1
+    group_size: int | None = None
+    partitioner: str = "hash"
+
+    def __post_init__(self) -> None:
+        if self.groups < 1:
+            raise ConfigurationError("topology needs at least one group")
+        if self.group_size is not None and self.group_size < 2:
+            raise ConfigurationError("a consensus group needs at least two members")
+        if self.partitioner not in PARTITIONERS:
+            raise ConfigurationError(
+                f"unknown partitioner {self.partitioner!r}; choices: {PARTITIONERS}"
+            )
+
+    @property
+    def is_default(self) -> bool:
+        return self == TopologySpec()
+
+    def size_for(self, n: int) -> int:
+        """Members per group, with ``n`` as the inherited default."""
+        return self.group_size if self.group_size is not None else n
+
+    def to_dict(self) -> dict:
+        return {
+            "groups": self.groups,
+            "group_size": self.group_size,
+            "partitioner": self.partitioner,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict | None) -> "TopologySpec":
+        if data is None:
+            return cls()
+        return cls(
+            groups=data["groups"],
+            group_size=data["group_size"],
+            partitioner=data["partitioner"],
+        )
 
 
 def _append_obs(spec: Any, body: dict) -> dict:
@@ -363,6 +434,15 @@ class RsmRunSpec:
     ``crash_at`` crashes replicas mid-run; each crashed replica rejoins as a
     learner ``recover_after`` seconds later (``None`` disables recovery),
     restoring its latest snapshot and replaying the suffix from survivors.
+
+    ``topology`` shards the service over many independent consensus groups
+    (:class:`TopologySpec`): ``n`` then means *members per group* and
+    replica pids run ``0 .. groups×group_size-1`` (``crash_at`` names those
+    global pids).  ``txn_clients``/``txn_rate`` add closed-loop transaction
+    sessions issuing multi-key cross-shard transactions (``txn_keys`` keys
+    each) via two-phase commit over the groups.  All of these serialize
+    only when non-default, so single-group specs keep their exact pre-shard
+    cache keys and JSON.
     """
 
     protocol: str
@@ -385,6 +465,10 @@ class RsmRunSpec:
     crash_at: tuple[tuple[int, float], ...] = ()
     check: bool = True
     max_events: int | None = None
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    txn_clients: int = 0
+    txn_rate: float = 0.0
+    txn_keys: int = 2
     obs: bool = False
     obs_metrics_interval: float = 0.0
     obs_flight_recorder: int = 0
@@ -399,8 +483,45 @@ class RsmRunSpec:
             raise ConfigurationError("an RSM service needs at least two replicas")
         if self.clients < 1:
             raise ConfigurationError("need at least one client session")
-        if len(self.crash_at) >= self.n:
-            raise ConfigurationError("cannot crash every replica")
+        if (self.txn_clients > 0) != (self.txn_rate > 0):
+            raise ConfigurationError(
+                "txn_clients and txn_rate must be set together (both > 0)"
+            )
+        if self.txn_keys < 1:
+            raise ConfigurationError("transactions need at least one key")
+        if self.topology.groups > self.keys:
+            raise ConfigurationError(
+                f"{self.topology.groups} shards cannot partition {self.keys} keys"
+            )
+        group_size = self.topology.size_for(self.n)
+        if group_size < 2:
+            raise ConfigurationError("an RSM service needs at least two replicas")
+        crashes_per_shard: dict[int, int] = {}
+        for pid, _ in self.crash_at:
+            if not 0 <= pid < self.total_replicas:
+                raise ConfigurationError(f"crash_at names unknown replica {pid}")
+            shard = pid // group_size
+            crashes_per_shard[shard] = crashes_per_shard.get(shard, 0) + 1
+        for shard, count in crashes_per_shard.items():
+            if count >= group_size:
+                raise ConfigurationError(
+                    f"cannot crash every replica of shard {shard}"
+                )
+
+    @property
+    def group_size(self) -> int:
+        """Replicas per consensus group (``topology.group_size`` or ``n``)."""
+        return self.topology.size_for(self.n)
+
+    @property
+    def total_replicas(self) -> int:
+        """Replicas across all groups (shards × group size)."""
+        return self.topology.groups * self.group_size
+
+    @property
+    def is_sharded(self) -> bool:
+        """True when the run needs the multi-group execution path."""
+        return self.topology.groups > 1 or self.txn_clients > 0
 
     @property
     def horizon(self) -> float:
@@ -430,6 +551,19 @@ class RsmRunSpec:
             "check": self.check,
             "max_events": self.max_events,
         }
+        # The topology field group serializes only when any member departs
+        # from the defaults: single-group specs keep their exact pre-shard
+        # dict form, cache keys and report JSON.
+        if not (
+            self.topology.is_default
+            and self.txn_clients == 0
+            and self.txn_rate == 0.0
+            and self.txn_keys == 2
+        ):
+            body["topology"] = self.topology.to_dict()
+            body["txn_clients"] = self.txn_clients
+            body["txn_rate"] = self.txn_rate
+            body["txn_keys"] = self.txn_keys
         return _append_obs(self, body)
 
     @classmethod
@@ -455,6 +589,10 @@ class RsmRunSpec:
             crash_at=tuple((pid, at) for pid, at in data["crash_at"]),
             check=data["check"],
             max_events=data["max_events"],
+            topology=TopologySpec.from_dict(data.get("topology")),
+            txn_clients=data.get("txn_clients", 0),
+            txn_rate=data.get("txn_rate", 0.0),
+            txn_keys=data.get("txn_keys", 2),
             obs=data.get("obs", False),
             obs_metrics_interval=data.get("obs_metrics_interval", 0.0),
             obs_flight_recorder=data.get("obs_flight_recorder", 0),

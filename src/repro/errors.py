@@ -62,5 +62,12 @@ class LinearizabilityViolation(ProtocolViolation):
     per-key history cannot produce at its commit point)."""
 
 
+class SerializabilityViolation(ProtocolViolation):
+    """The cross-shard commit order admits no single serial order: the
+    conflict graph over committed transactions (edges from per-shard commit
+    precedence between transactions touching a shared shard) contains a
+    cycle."""
+
+
 class TerminationFailure(ReproError):
     """A run that was expected to decide/deliver did not do so within its horizon."""

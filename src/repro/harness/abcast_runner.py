@@ -141,6 +141,7 @@ def run_abcast(
     capacity=None,
     tracer=None,
     obs=None,
+    ctx=None,
 ) -> AbcastRunResult:
     """Run one atomic-broadcast scenario on a fresh simulated cluster.
 
@@ -157,7 +158,7 @@ def run_abcast(
     if isinstance(make_module, AbcastRunSpec):
         from repro.engine.runner import run_abcast_spec
 
-        return run_abcast_spec(make_module, tracer=tracer, obs=obs)
+        return run_abcast_spec(make_module, tracer=tracer, obs=obs, ctx=ctx)
     if isinstance(make_module, str):
         from repro.harness.registry import ABCAST, get_protocol
 
@@ -166,8 +167,10 @@ def run_abcast(
         raise ConfigurationError("run_abcast needs n and schedules (or a RunSpec)")
     if n < 2:
         raise ConfigurationError("atomic broadcast needs at least two processes")
-    if obs is not None and tracer is None:
-        tracer = obs.tracer
+    from repro.engine.context import RunContext  # local: engine sits above us
+
+    ctx = RunContext.resolve(ctx, tracer, obs)
+    tracer, obs = ctx.tracer, ctx.obs
     pids = list(range(n))
     sim = Simulator(seed=seed)
     network = Network(

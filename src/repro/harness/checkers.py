@@ -9,12 +9,13 @@ is evidence about the protocols, not about vacuous checks).
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterable, Mapping, Sequence
+from typing import Any, Hashable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import (
     AgreementViolation,
     IntegrityViolation,
     LinearizabilityViolation,
+    SerializabilityViolation,
     TotalOrderViolation,
     ValidityViolation,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "check_rsm_session_order",
     "check_rsm_log_consistent",
     "check_rsm_linearizable",
+    "check_cross_shard_serializable",
 ]
 
 
@@ -177,3 +179,61 @@ def check_rsm_linearizable(
                 f"apply #{position + 1} ({command!r}): committed result was "
                 f"{observed!r} but the linearized replay yields {replayed!r}"
             )
+
+
+def check_cross_shard_serializable(
+    commit_orders: Mapping[int, Sequence[tuple[str, Iterable[str]]]],
+) -> None:
+    """Serializability of committed cross-shard transactions.
+
+    ``commit_orders`` maps each shard to its committed transactions *in
+    per-shard commit order* (the order the shard's state machine applied
+    the ``txn-commit`` records, i.e. its linearization), each as ``(txid,
+    keys written on that shard)``.  Two transactions conflict on a shard
+    when their key sets there intersect; the shard's commit order then fixes
+    their relative serial order.  The history is serializable iff the union
+    of those precedence edges over all shards is acyclic — a cycle means no
+    single serial order of the transactions explains what every shard
+    committed.
+    """
+    successors: dict[str, set[str]] = {}
+    for shard in sorted(commit_orders):
+        order: list[tuple[str, frozenset[str]]] = []
+        for txid, keys in commit_orders[shard]:
+            if any(txid == prior for prior, _ in order):
+                raise SerializabilityViolation(
+                    f"transaction {txid!r} committed twice on shard {shard}"
+                )
+            order.append((txid, frozenset(keys)))
+            successors.setdefault(txid, set())
+        for i, (earlier, earlier_keys) in enumerate(order):
+            for later, later_keys in order[i + 1 :]:
+                if earlier_keys & later_keys:
+                    successors[earlier].add(later)
+
+    # Iterative three-colour DFS; a back edge is a precedence cycle.
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {txid: WHITE for txid in successors}
+    for root in sorted(successors):
+        if colour[root] != WHITE:
+            continue
+        stack: list[tuple[str, Iterator[str]]] = [(root, iter(sorted(successors[root])))]
+        colour[root] = GREY
+        path = [root]
+        while stack:
+            txid, children = stack[-1]
+            child = next(children, None)
+            if child is None:
+                colour[txid] = BLACK
+                stack.pop()
+                path.pop()
+                continue
+            if colour[child] == GREY:
+                cycle = path[path.index(child) :] + [child]
+                raise SerializabilityViolation(
+                    "cross-shard commit order is cyclic: " + " -> ".join(cycle)
+                )
+            if colour[child] == WHITE:
+                colour[child] = GREY
+                stack.append((child, iter(sorted(successors[child]))))
+                path.append(child)

@@ -132,6 +132,7 @@ def run_consensus(
     service_time: float = 0.0,
     tracer=None,
     obs=None,
+    ctx=None,
 ) -> ConsensusRunResult:
     """Run one consensus instance on a fresh simulated cluster.
 
@@ -151,7 +152,7 @@ def run_consensus(
     if isinstance(make_module, ConsensusRunSpec):
         from repro.engine.runner import run_consensus_spec
 
-        return run_consensus_spec(make_module, tracer=tracer, obs=obs)
+        return run_consensus_spec(make_module, tracer=tracer, obs=obs, ctx=ctx)
     if isinstance(make_module, str):
         from repro.harness.registry import CONSENSUS, get_protocol
 
@@ -161,8 +162,10 @@ def run_consensus(
     pids = sorted(proposals)
     if len(pids) < 2:
         raise ConfigurationError("consensus needs at least two processes")
-    if obs is not None and tracer is None:
-        tracer = obs.tracer
+    from repro.engine.context import RunContext  # local: engine sits above us
+
+    ctx = RunContext.resolve(ctx, tracer, obs)
+    tracer, obs = ctx.tracer, ctx.obs
     sim = Simulator(seed=seed)
     network = Network(sim, delay=delay)
     oracle: OracleFailureDetector | None = None

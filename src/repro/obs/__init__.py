@@ -29,7 +29,7 @@ from repro.obs.export import (
 from repro.obs.metrics import MetricsRegistry, MetricsSampler, OBS_SCHEMA
 from repro.obs.recorder import FlightRecorder
 from repro.obs.runtime import ObsConfig, ObsRuntime
-from repro.obs.spans import BroadcastSpan, ConsensusSpan, SpanBuilder
+from repro.obs.spans import BroadcastSpan, ConsensusSpan, SpanBuilder, TxnSpan
 
 __all__ = [
     "OBS_SCHEMA",
@@ -42,6 +42,7 @@ __all__ = [
     "ObsConfig",
     "ObsRuntime",
     "SpanBuilder",
+    "TxnSpan",
     "diff_traces",
     "export_chrome",
     "export_jsonl",

@@ -10,6 +10,10 @@ this decision come about".  Two span families:
 * :class:`BroadcastSpan` — one application message: a-broadcast at its
   origin → a-deliver fan-out across processes, with first/last delivery
   latency.
+* :class:`TxnSpan` — one cross-shard transaction: txn-begin at the
+  coordinator → per-shard prepare votes → the replicated decision →
+  txn-end, so 2PC behaviour (who voted what, where the time went) is
+  inspectable per transaction.
 
 :class:`SpanBuilder` consumes either live :class:`~repro.sim.trace.TraceRecord`
 objects or rows loaded from a JSONL export (``[time, pid, kind, data]``
@@ -23,7 +27,7 @@ from typing import Any, Iterable
 
 from repro.sim.trace import KINDS, TraceRecord
 
-__all__ = ["BroadcastSpan", "ConsensusSpan", "SpanBuilder"]
+__all__ = ["BroadcastSpan", "ConsensusSpan", "SpanBuilder", "TxnSpan"]
 
 
 def _canonical_id(value: Any) -> Any:
@@ -133,6 +137,51 @@ class BroadcastSpan:
         }
 
 
+@dataclass
+class TxnSpan:
+    """One cross-shard transaction observed through its 2PC lifecycle."""
+
+    txid: Any
+    coordinator_pid: int | None = None
+    begin_at: float | None = None
+    shards: list[int] = field(default_factory=list)
+    #: shard -> prepare vote ("yes" / "conflict").
+    votes: dict[int, str] = field(default_factory=dict)
+    #: shard -> vote arrival time.
+    vote_at: dict[int, float] = field(default_factory=dict)
+    decision: str | None = None
+    decided_at: float | None = None
+    end_at: float | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.end_at is not None
+
+    @property
+    def committed(self) -> bool:
+        return self.decision == "commit"
+
+    @property
+    def duration(self) -> float | None:
+        """Virtual time from txn-begin to txn-end (None while in flight)."""
+        if self.begin_at is None or self.end_at is None:
+            return None
+        return self.end_at - self.begin_at
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "txid": self.txid,
+            "coordinator_pid": self.coordinator_pid,
+            "begin_at": self.begin_at,
+            "shards": list(self.shards),
+            "votes": {str(shard): vote for shard, vote in sorted(self.votes.items())},
+            "decision": self.decision,
+            "decided_at": self.decided_at,
+            "end_at": self.end_at,
+            "duration": self.duration,
+        }
+
+
 class SpanBuilder:
     """Folds a trace (records or exported rows) into causal spans."""
 
@@ -141,6 +190,8 @@ class SpanBuilder:
         self.consensus: dict[tuple[int, Any], ConsensusSpan] = {}
         #: msg_id -> span
         self.broadcasts: dict[Any, BroadcastSpan] = {}
+        #: txid -> span
+        self.txns: dict[Any, TxnSpan] = {}
 
     # ------------------------------------------------------------- ingestion
 
@@ -190,6 +241,29 @@ class SpanBuilder:
             if span is None:
                 self.broadcasts[msg_id] = span = BroadcastSpan(msg_id=msg_id)
             span.deliveries.setdefault(pid, time)
+        elif kind == KINDS.TXN_BEGIN:
+            span = self._txn_span(data["txid"])
+            span.begin_at = time
+            span.coordinator_pid = pid
+            span.shards = list(data.get("shards", ()))
+        elif kind == KINDS.TXN_VOTE:
+            span = self._txn_span(data["txid"])
+            span.votes[data["shard"]] = data["vote"]
+            span.vote_at[data["shard"]] = time
+        elif kind == KINDS.TXN_DECIDE:
+            span = self._txn_span(data["txid"])
+            span.decision = data["decision"]
+            span.decided_at = time
+        elif kind == KINDS.TXN_END:
+            span = self._txn_span(data["txid"])
+            span.decision = data["decision"]
+            span.end_at = time
+
+    def _txn_span(self, txid: Any) -> TxnSpan:
+        span = self.txns.get(txid)
+        if span is None:
+            self.txns[txid] = span = TxnSpan(txid=txid)
+        return span
 
     # --------------------------------------------------------------- queries
 
@@ -198,6 +272,9 @@ class SpanBuilder:
 
     def broadcast_spans(self) -> list[BroadcastSpan]:
         return [self.broadcasts[key] for key in sorted(self.broadcasts, key=repr)]
+
+    def txn_spans(self) -> list[TxnSpan]:
+        return [self.txns[key] for key in sorted(self.txns, key=repr)]
 
     def summary(self) -> dict[str, Any]:
         """Aggregate span statistics for reporting and assertions."""
@@ -219,6 +296,7 @@ class SpanBuilder:
                     "mean_latency": sum(latencies) / len(latencies),
                 }
             )
+        txn_spans = self.txn_spans()
         return {
             "instances": len(spans),
             "decided": len(decided),
@@ -227,4 +305,12 @@ class SpanBuilder:
             "steps_histogram": dict(sorted(steps_hist.items())),
             "max_round": max((s.max_round for s in spans), default=0),
             "broadcasts": broadcast_stats,
+            "txns": {
+                "count": len(txn_spans),
+                "committed": sum(1 for s in txn_spans if s.finished and s.committed),
+                "aborted": sum(
+                    1 for s in txn_spans if s.finished and not s.committed
+                ),
+                "unfinished": sum(1 for s in txn_spans if not s.finished),
+            },
         }

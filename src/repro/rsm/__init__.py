@@ -17,12 +17,24 @@ tolerant KV service with the full production shape:
 * :mod:`repro.rsm.runner` — :func:`run_rsm` executing an
   :class:`~repro.engine.spec.RsmRunSpec` end to end, with the service
   guarantees (exactly-once, session order, log agreement, linearizability,
-  recovery convergence) checked on every run.
+  recovery convergence) checked on every run;
+* :mod:`repro.rsm.shard` — many consensus groups in one kernel: the
+  :class:`ShardRouter` keyspace partition, shard-pinned sessions, and
+  cross-shard transactions via 2PC (:func:`run_sharded_rsm`), with
+  cross-shard serializability checked on top of the per-shard guarantees.
 """
 
 from repro.rsm.batcher import BATCH_TIMER, Batcher
 from repro.rsm.client import DEFAULT_MIX, CommandStream, ServingSet, SessionDriver
-from repro.rsm.machine import OPS, Command, KvStore, StateMachine
+from repro.rsm.machine import (
+    OPS,
+    TXN_OPS,
+    Command,
+    KvStore,
+    StateMachine,
+    TxnCommand,
+    TxnKvStore,
+)
 from repro.rsm.replica import (
     CATCHUP_TIMER,
     SNAPSHOT_KEY,
@@ -34,12 +46,24 @@ from repro.rsm.replica import (
 )
 from repro.rsm.runner import RsmRunResult, run_rsm, service_metrics
 from repro.rsm.session import DedupTable, Request
+from repro.rsm.shard import (
+    ShardedRsmRunResult,
+    ShardKeyStream,
+    ShardRouter,
+    TxnDriver,
+    TxnRecord,
+    run_sharded_rsm,
+    sharded_service_metrics,
+)
 
 __all__ = [
     "Command",
     "StateMachine",
     "KvStore",
     "OPS",
+    "TxnCommand",
+    "TxnKvStore",
+    "TXN_OPS",
     "Request",
     "DedupTable",
     "Batcher",
@@ -58,4 +82,11 @@ __all__ = [
     "RsmRunResult",
     "run_rsm",
     "service_metrics",
+    "ShardRouter",
+    "ShardKeyStream",
+    "ShardedRsmRunResult",
+    "TxnDriver",
+    "TxnRecord",
+    "run_sharded_rsm",
+    "sharded_service_metrics",
 ]

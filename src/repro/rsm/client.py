@@ -65,6 +65,15 @@ class CommandStream:
         self._keys = keys
         self._mix = [(op, weight / total) for op, weight in mix]
 
+    def _pick_key(self, rng: random.Random) -> str:
+        """Draw the command's key (exactly one rng call).
+
+        Subclasses narrow the keyspace — the shard-pinned stream draws from
+        its shard's key slice — while keeping the draw structure identical,
+        so a one-group topology generates byte-identical workloads.
+        """
+        return f"k{rng.randrange(self._keys)}"
+
     def next(self, seq: int) -> Command:
         rng = self._rng
         draw = rng.random()
@@ -75,7 +84,7 @@ class CommandStream:
             if draw < acc:
                 op = name
                 break
-        key = f"k{rng.randrange(self._keys)}"
+        key = self._pick_key(rng)
         if op == "set":
             return Command("set", key, value=f"s{self._session}.{seq}")
         if op == "get":

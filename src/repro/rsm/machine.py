@@ -27,10 +27,21 @@ from typing import Any
 
 from repro.errors import ConfigurationError
 
-__all__ = ["Command", "StateMachine", "KvStore", "OPS"]
+__all__ = [
+    "Command",
+    "StateMachine",
+    "KvStore",
+    "OPS",
+    "TxnCommand",
+    "TxnKvStore",
+    "TXN_OPS",
+]
 
 #: Operations understood by the reference KV machine.
 OPS = ("set", "get", "del", "cas")
+
+#: Two-phase-commit operations understood by the transactional KV machine.
+TXN_OPS = ("txn-prepare", "txn-commit", "txn-abort", "txn-decide")
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,6 +62,41 @@ class Command:
     def __post_init__(self) -> None:
         if self.op not in OPS:
             raise ConfigurationError(f"unknown op {self.op!r}; choices: {OPS}")
+
+
+@dataclass(frozen=True, slots=True)
+class TxnCommand:
+    """One two-phase-commit step, replicated like any other command.
+
+    2PC over shards reuses the consensus log instead of adding a protocol:
+    every step is totally ordered within its group, deduplicated by
+    (session, seq) like a plain command, and therefore survives leader
+    crashes and client failover with exactly-once semantics.
+
+    * ``txn-prepare`` — stage ``writes`` on a participant shard and lock
+      their keys; applies to ``"yes"`` or ``"conflict"`` (the vote);
+    * ``txn-decide`` — record the coordinator's durable commit/abort
+      decision in its shard's replicated state (the 2PC decision record);
+    * ``txn-commit`` / ``txn-abort`` — apply or discard the staged writes
+      on a participant and release its locks.
+    """
+
+    op: str
+    txid: str
+    writes: tuple[tuple[str, str], ...] = ()
+    decision: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in TXN_OPS:
+            raise ConfigurationError(f"unknown txn op {self.op!r}; choices: {TXN_OPS}")
+        if self.op == "txn-decide" and self.decision not in ("commit", "abort"):
+            raise ConfigurationError(
+                f"txn-decide needs decision 'commit' or 'abort', got {self.decision!r}"
+            )
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        return tuple(key for key, _ in self.writes)
 
 
 class StateMachine(abc.ABC):
@@ -114,4 +160,98 @@ class KvStore(StateMachine):
 
     def digest(self) -> str:
         material = repr(sorted(self._data.items())).encode("utf-8")
+        return hashlib.sha256(material).hexdigest()
+
+
+class TxnKvStore(KvStore):
+    """KvStore that additionally speaks 2PC (:class:`TxnCommand`).
+
+    Staged writes live outside the visible map until ``txn-commit``; a
+    per-key lock table makes concurrent prepares over a shared key vote
+    ``"conflict"``, which the coordinator turns into an abort — locks only
+    guard prepare-vs-prepare, so 2PC never deadlocks and never blocks plain
+    traffic.  Plain single-key ops deliberately ignore the locks: a
+    single-shard op serialises at its own apply point, so it can sit before
+    or after any cross-shard transaction without creating a cycle in the
+    cross-shard commit order.
+
+    The coordinator's decision record (``txn-decide``) is part of the
+    replicated state, so it survives snapshots, log replay and learner
+    rejoin — that is what makes the 2PC outcome crash-safe.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._prepared: dict[str, tuple[tuple[str, str], ...]] = {}
+        self._locks: dict[str, str] = {}
+        self._decisions: dict[str, str] = {}
+
+    def apply(self, command: Command | TxnCommand) -> Any:
+        if not isinstance(command, TxnCommand):
+            return super().apply(command)
+        op, txid = command.op, command.txid
+        if op == "txn-prepare":
+            if txid in self._prepared:
+                return "yes"
+            if any(self._locks.get(key, txid) != txid for key in command.keys):
+                return "conflict"
+            self._prepared[txid] = command.writes
+            for key in command.keys:
+                self._locks[key] = txid
+            return "yes"
+        if op == "txn-decide":
+            self._decisions.setdefault(txid, command.decision)
+            return self._decisions[txid]
+        # txn-commit / txn-abort: consume the stage, release the locks.
+        staged = self._prepared.pop(txid, None)
+        if staged is None:
+            return "stale"
+        for key, _ in staged:
+            if self._locks.get(key) == txid:
+                del self._locks[key]
+        if op == "txn-commit":
+            for key, value in staged:
+                self._data[key] = value
+            return "committed"
+        return "aborted"
+
+    def decision_of(self, txid: str) -> str | None:
+        """The durable 2PC decision recorded for ``txid`` (coordinator side)."""
+        return self._decisions.get(txid)
+
+    @property
+    def prepared_txids(self) -> list[str]:
+        return sorted(self._prepared)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "data": super().snapshot(),
+            "prepared": {t: list(w) for t, w in self._prepared.items()},
+            "locks": dict(self._locks),
+            "decisions": dict(self._decisions),
+        }
+
+    def install(self, state: dict[str, Any]) -> None:
+        super().install(state["data"])
+        self._prepared = {
+            t: tuple((k, v) for k, v in writes)
+            for t, writes in state["prepared"].items()
+        }
+        self._locks = dict(state["locks"])
+        self._decisions = dict(state["decisions"])
+
+    def digest(self) -> str:
+        # Digest-compatible with a plain KvStore whenever no txn residue is
+        # pending, so a drained transactional shard can be compared against
+        # a command-by-command KvStore replay.
+        if not (self._prepared or self._locks or self._decisions):
+            return super().digest()
+        material = repr(
+            (
+                sorted(self._data.items()),
+                sorted((t, tuple(w)) for t, w in self._prepared.items()),
+                sorted(self._locks.items()),
+                sorted(self._decisions.items()),
+            )
+        ).encode("utf-8")
         return hashlib.sha256(material).hexdigest()

@@ -27,6 +27,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.engine.context import RunContext
 from repro.engine.spec import RsmRunSpec
 from repro.errors import (
     ConfigurationError,
@@ -94,11 +95,23 @@ def _build_arrivals(spec: RsmRunSpec, session: int) -> list[float]:
         plan.append(t)
 
 
-def run_rsm(spec: RsmRunSpec, tracer=None, obs=None) -> RsmRunResult:
-    """Run one RSM service spec on a fresh simulated cluster."""
+def run_rsm(spec: RsmRunSpec, tracer=None, obs=None, ctx=None) -> RsmRunResult:
+    """Run one RSM service spec on a fresh simulated cluster.
+
+    Observation rides in ``ctx`` (a :class:`~repro.engine.RunContext`); the
+    ``tracer=``/``obs=`` keywords are the deprecated spelling and fold into
+    one.  Specs whose topology declares multiple groups — or whose workload
+    includes cross-shard transactions — dispatch to
+    :func:`repro.rsm.shard.run_sharded_rsm` and return its
+    ``ShardedRsmRunResult`` instead.
+    """
+    ctx = RunContext.resolve(ctx, tracer, obs)
+    if spec.is_sharded:
+        from repro.rsm.shard import run_sharded_rsm
+
+        return run_sharded_rsm(spec, ctx=ctx)
+    tracer, obs = ctx.tracer, ctx.obs
     info = get_protocol(spec.protocol, kind=ABCAST)
-    if obs is not None and tracer is None:
-        tracer = obs.tracer
     cluster = spec.cluster
     pids = list(range(spec.n))
     for pid, _ in spec.crash_at:
@@ -332,8 +345,15 @@ def window_commit_latencies(result: RsmRunResult) -> tuple[int, list[float]]:
     return offered, latencies
 
 
-def service_metrics(result: RsmRunResult) -> dict:
-    """JSON-safe service-level metrics section (``RunReport.rsm``)."""
+def service_metrics(result) -> dict:
+    """JSON-safe service-level metrics section (``RunReport.rsm``).
+
+    Dispatches on the result shape: sharded runs carry per-shard authorities
+    and get the extended section from :mod:`repro.rsm.shard`."""
+    if hasattr(result, "authorities"):
+        from repro.rsm.shard import sharded_service_metrics
+
+        return sharded_service_metrics(result)
     spec = result.spec
     auth = result.replicas[result.authority]
     offered, latencies = window_commit_latencies(result)

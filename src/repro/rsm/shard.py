@@ -1,0 +1,790 @@
+"""Sharded multi-group RSM: many consensus groups, one kernel, 2PC on top.
+
+The paper evaluates one n-node group; a production-scale store runs *many*
+independent groups (shards) side by side and scales along the shard axis.
+This module partitions the KV keyspace across ``TopologySpec.groups``
+consensus groups — each a full :class:`~repro.rsm.replica.RsmReplica`
+cluster with its own failure detector, serving set and sessions — all
+inside one deterministic :class:`~repro.sim.kernel.Simulator`, sharing one
+:class:`~repro.sim.network.Network` and storage fabric.
+
+* :class:`ShardRouter` maps keys to shards (``hash`` via CRC-32, or
+  ``range`` banding) and hands each shard its key slice;
+* plain client sessions are *pinned* to a shard round-robin and draw keys
+  only from its slice (:class:`ShardKeyStream`), so per-shard exactly-once
+  dedup and session order carry over unchanged;
+* :class:`TxnDriver` sessions issue multi-key transactions spanning shards
+  via two-phase commit whose every step (``txn-prepare`` / ``txn-decide`` /
+  ``txn-commit`` / ``txn-abort``) is an ordinary replicated command — the
+  existing (session, seq) dedup makes retried steps exactly-once across
+  leader crashes and client failover, and the coordinator shard's
+  replicated decision record makes the outcome crash-safe through the
+  snapshot/rejoin path.
+
+Validation extends the single-group checks per shard (total order, exactly
+once, session order, log agreement, linearizability by replay, digest and
+learner convergence) with cross-shard serializability: the commit order of
+transactions on each shard defines conflict edges (shared keys), and the
+union over shards must stay acyclic
+(:func:`repro.harness.checkers.check_cross_shard_serializable`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+from zlib import crc32
+
+from repro.engine.context import RunContext
+from repro.engine.spec import PARTITIONERS, RsmRunSpec
+from repro.errors import (
+    ConfigurationError,
+    LinearizabilityViolation,
+    ReproError,
+    TerminationFailure,
+)
+from repro.fd.oracle import OracleFailureDetector
+from repro.harness.checkers import (
+    check_cross_shard_serializable,
+    check_rsm_exactly_once,
+    check_rsm_linearizable,
+    check_rsm_log_consistent,
+    check_rsm_session_order,
+    check_uniform_total_order,
+)
+from repro.harness.registry import ABCAST, get_protocol
+from repro.rsm.client import CommandStream, ServingSet, SessionDriver, _PendingRequest
+from repro.rsm.machine import TxnCommand, TxnKvStore
+from repro.rsm.replica import SUBMIT_TIMER, RsmReplica
+from repro.rsm.runner import _build_arrivals
+from repro.rsm.session import Request
+from repro.sim.kernel import Simulator, derive_seed
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.storage import StorageFabric
+from repro.sim.trace import KINDS
+
+__all__ = [
+    "ShardRouter",
+    "ShardKeyStream",
+    "TxnRecord",
+    "TxnDriver",
+    "ShardedRsmRunResult",
+    "run_sharded_rsm",
+    "sharded_service_metrics",
+]
+
+
+class ShardRouter:
+    """Maps keys to shards and owns each shard's key slice.
+
+    ``hash`` spreads keys by CRC-32 (stable across processes and Python
+    versions, unlike ``hash()``); ``range`` bands the numeric key space into
+    contiguous slices.  Both are pure functions of (key, groups), so every
+    client and checker agrees on placement without coordination.
+    """
+
+    def __init__(self, groups: int, keys: int, partitioner: str = "hash") -> None:
+        if partitioner not in PARTITIONERS:
+            raise ConfigurationError(
+                f"unknown partitioner {partitioner!r}; choices: {PARTITIONERS}"
+            )
+        if groups < 1:
+            raise ConfigurationError("need at least one shard")
+        self.groups = groups
+        self.keys = keys
+        self.partitioner = partitioner
+        self._band = -(-keys // groups)  # ceil: only used by "range"
+        slices: list[list[str]] = [[] for _ in range(groups)]
+        for index in range(keys):
+            key = f"k{index}"
+            slices[self.shard_of(key)].append(key)
+        for shard, slice_keys in enumerate(slices):
+            if not slice_keys:
+                raise ConfigurationError(
+                    f"shard {shard} owns no keys ({keys} keys over {groups} "
+                    f"{partitioner}-partitioned shards); add keys or use 'range'"
+                )
+        self._slices = [tuple(s) for s in slices]
+
+    def shard_of(self, key: str) -> int:
+        if self.partitioner == "hash":
+            return crc32(key.encode("utf-8")) % self.groups
+        return min(int(key[1:]) // self._band, self.groups - 1)
+
+    def keys_for(self, shard: int) -> tuple[str, ...]:
+        return self._slices[shard]
+
+
+class ShardKeyStream(CommandStream):
+    """Per-session command stream drawing keys from one shard's slice.
+
+    Same draw structure as the base stream (one rng call per key pick), so
+    session workloads stay seed-determined; only the key universe narrows.
+    """
+
+    def __init__(
+        self, session: int, seed: int, keys: int, slice_keys: tuple[str, ...]
+    ) -> None:
+        super().__init__(session, seed, keys)
+        self._slice = slice_keys
+
+    def _pick_key(self, rng: random.Random) -> str:
+        return self._slice[rng.randrange(len(self._slice))]
+
+
+@dataclass
+class TxnRecord:
+    """Lifecycle of one cross-shard transaction, as the client saw it."""
+
+    txid: str
+    writes: dict[int, tuple[tuple[str, str], ...]]  # shard -> staged writes
+    participants: tuple[int, ...]
+    coordinator: int
+    begin_at: float
+    votes: dict[int, str] = field(default_factory=dict)
+    decision: str | None = None
+    end_at: float | None = None
+
+
+class TxnDriver:
+    """One closed-loop transaction session: 2PC over shard groups.
+
+    Exactly one replicated step is in flight at a time (prepare each
+    participant in shard order, then the coordinator's decide, then
+    commit/abort the yes-voters), so the session's seqs reach every shard in
+    strictly increasing order and the per-shard session-order invariant
+    holds without coordination.  A home-replica crash mid-step re-homes to
+    the shard's next serving replica and resubmits the *same* (session,
+    seq) — the dedup table makes the retry exactly-once and replays the
+    original vote/outcome from its cache.
+    """
+
+    def __init__(
+        self,
+        session: int,
+        router: ShardRouter,
+        nodes: dict[int, Node],
+        servings: dict[int, ServingSet],
+        homes: dict[int, int],
+        duration: float,
+        think_time: float,
+        txn_keys: int,
+        rng: random.Random,
+        start_at: float = 1e-4,
+        failover_delay: float = 5e-3,
+        tracer=None,
+    ) -> None:
+        self.session = session
+        self.router = router
+        self.nodes = nodes
+        self.servings = servings
+        self.homes = dict(homes)  # shard -> current home replica pid
+        self.duration = duration
+        self.think_time = think_time
+        self.txn_keys = txn_keys
+        self.rng = rng
+        self.start_at = start_at
+        self.failover_delay = failover_delay
+        self.tracer = tracer
+
+        self.txns: list[TxnRecord] = []
+        self.pending: dict[int, _PendingRequest] = {}  # seq -> in-flight step
+        self.acked: dict[int, tuple[float, float]] = {}
+        self.retries = 0
+        self._next_seq = 0
+        self._attempt = 0
+        self._txn: TxnRecord | None = None
+        self._phase: str | None = None  # "prepare" | "decide" | "finish"
+        self._queue: list[tuple[int, TxnCommand]] = []
+        self._inflight: tuple[int, int] | None = None  # (seq, shard)
+
+    # ----------------------------------------------------------------- wiring
+
+    def start(self) -> None:
+        self._begin_txn(self.start_at)
+
+    def _begin_txn(self, at: float) -> None:
+        if at >= self.duration:
+            return
+        txid = f"t{self.session}.{len(self.txns) + 1}"
+        spread = min(self.txn_keys, self.router.groups)
+        participants = tuple(sorted(self.rng.sample(range(self.router.groups), spread)))
+        writes: dict[int, tuple[tuple[str, str], ...]] = {}
+        for shard in participants:
+            slice_keys = self.router.keys_for(shard)
+            key = slice_keys[self.rng.randrange(len(slice_keys))]
+            writes[shard] = ((key, txid),)
+        txn = TxnRecord(
+            txid=txid,
+            writes=writes,
+            participants=participants,
+            coordinator=participants[0],
+            begin_at=at,
+        )
+        self.txns.append(txn)
+        self._txn = txn
+        self._phase = "prepare"
+        self._queue = [
+            (shard, TxnCommand("txn-prepare", txid, writes=writes[shard]))
+            for shard in participants
+        ]
+        if self.tracer is not None:
+            self.tracer.emit(
+                at,
+                self.homes[txn.coordinator],
+                KINDS.TXN_BEGIN,
+                {"txid": txid, "shards": list(participants)},
+            )
+        self._submit_next(at)
+
+    def _submit_next(self, at: float) -> None:
+        shard, command = self._queue.pop(0)
+        self._next_seq += 1
+        seq = self._next_seq
+        request = Request(self.session, seq, command)
+        self.pending[seq] = _PendingRequest(request, at, attempts=0)
+        self._inflight = (seq, shard)
+        self._schedule_submit(request, shard, at)
+
+    def _schedule_submit(self, request: Request, shard: int, at: float) -> None:
+        node = self.nodes[self.homes[shard]]
+        record = self.pending[request.seq]
+        record.attempts += 1
+        self._attempt += 1
+        delay = max(0.0, at - node.sim.now)
+        node.set_timer((SUBMIT_TIMER, self._attempt, request), delay)
+
+    # ------------------------------------------------------------------- acks
+
+    def on_commit(self, pid: int, request: Request, result: Any, at: float) -> None:
+        if request.session != self.session or self._inflight is None:
+            return
+        seq, shard = self._inflight
+        if request.seq != seq or pid != self.homes[shard]:
+            return
+        record = self.pending.pop(seq, None)
+        if record is None:
+            return
+        self.acked[seq] = (record.submit_at, at)
+        self._inflight = None
+        txn = self._txn
+        command = request.command
+        if self._phase == "prepare":
+            txn.votes[shard] = result
+            if self.tracer is not None:
+                self.tracer.emit(
+                    at, pid, KINDS.TXN_VOTE,
+                    {"txid": txn.txid, "shard": shard, "vote": result},
+                )
+            if self._queue:
+                self._submit_next(at)
+                return
+            decision = (
+                "commit"
+                if all(v == "yes" for v in txn.votes.values())
+                else "abort"
+            )
+            self._phase = "decide"
+            self._queue = [
+                (txn.coordinator, TxnCommand("txn-decide", txn.txid, decision=decision))
+            ]
+            self._submit_next(at)
+            return
+        if self._phase == "decide":
+            txn.decision = result
+            if self.tracer is not None:
+                self.tracer.emit(
+                    at, pid, KINDS.TXN_DECIDE,
+                    {"txid": txn.txid, "decision": result},
+                )
+            finish_op = "txn-commit" if result == "commit" else "txn-abort"
+            self._phase = "finish"
+            self._queue = [
+                (s, TxnCommand(finish_op, txn.txid))
+                for s in txn.participants
+                if txn.votes.get(s) == "yes"
+            ]
+            if self._queue:
+                self._submit_next(at)
+            else:
+                self._end_txn(at)
+            return
+        # finish phase
+        if self._queue:
+            self._submit_next(at)
+        else:
+            self._end_txn(at)
+
+    def _end_txn(self, at: float) -> None:
+        txn = self._txn
+        txn.end_at = at
+        if self.tracer is not None:
+            self.tracer.emit(
+                at,
+                self.homes[txn.coordinator],
+                KINDS.TXN_END,
+                {"txid": txn.txid, "decision": txn.decision},
+            )
+        self._txn = None
+        self._phase = None
+        self._begin_txn(at + self.think_time)
+
+    # --------------------------------------------------------------- failover
+
+    def on_replica_crash(self, pid: int, now: float) -> None:
+        rehomed = []
+        for shard, home in self.homes.items():
+            if home == pid:
+                self.homes[shard] = self.servings[shard].next_home(pid)
+                rehomed.append(shard)
+        if self._inflight is None:
+            return
+        seq, shard = self._inflight
+        if shard in rehomed:
+            self.retries += 1
+            record = self.pending[seq]
+            self._schedule_submit(record.request, shard, now + self.failover_delay)
+
+    # ---------------------------------------------------------------- metrics
+
+    def latencies(self) -> list[tuple[float, float]]:
+        return [self.acked[seq] for seq in sorted(self.acked)]
+
+    @property
+    def committed(self) -> int:
+        return sum(1 for t in self.txns if t.decision == "commit")
+
+    @property
+    def aborted(self) -> int:
+        return sum(1 for t in self.txns if t.decision == "abort")
+
+
+@dataclass
+class ShardedRsmRunResult:
+    """Everything a finished sharded RSM run exposes to metrics and tests."""
+
+    spec: RsmRunSpec
+    router: ShardRouter
+    replicas: dict[int, RsmReplica]          # final incarnation per global pid
+    first_lives: dict[int, RsmReplica]
+    learners: dict[int, RsmReplica]
+    drivers: dict[int, Any]                  # session -> SessionDriver | TxnDriver
+    txn_drivers: dict[int, TxnDriver]
+    authorities: dict[int, int]              # shard -> reference survivor pid
+    commit_orders: dict[int, list[tuple[str, tuple[str, ...]]]]
+    crashed: list[int]
+    duration: float
+    network_stats: dict
+    linearizable: bool
+    sim: Simulator = field(repr=False)
+    nodes: dict[int, Node] = field(repr=False, default_factory=dict)
+
+    @property
+    def shards(self) -> int:
+        return self.router.groups
+
+    @property
+    def committed(self) -> int:
+        return sum(
+            self.replicas[pid].applied_index for pid in self.authorities.values()
+        )
+
+    def shard_pids(self, shard: int) -> list[int]:
+        gsize = self.spec.group_size
+        return list(range(shard * gsize, (shard + 1) * gsize))
+
+    def digests(self) -> dict[int, str]:
+        return {pid: replica.digest() for pid, replica in self.replicas.items()}
+
+
+def run_sharded_rsm(
+    spec: RsmRunSpec, tracer=None, obs=None, ctx: RunContext | None = None
+) -> ShardedRsmRunResult:
+    """Run one sharded RSM spec: all shard groups in one kernel, checked."""
+    ctx = RunContext.resolve(ctx, tracer, obs)
+    tracer, obs = ctx.tracer, ctx.obs
+    info = get_protocol(spec.protocol, kind=ABCAST)
+    cluster = spec.cluster
+    groups = spec.topology.groups
+    gsize = spec.group_size
+    router = ShardRouter(groups, spec.keys, spec.topology.partitioner)
+    shard_pids = {s: list(range(s * gsize, (s + 1) * gsize)) for s in range(groups)}
+
+    sim = Simulator(seed=spec.seed)
+    network = Network(
+        sim,
+        delay=cluster.delay,
+        datagram_delay=cluster.datagram_delay,
+        datagram_loss=cluster.datagram_loss,
+        capacity=cluster.capacity,
+    )
+    fabric = StorageFabric()
+    oracles = {
+        s: OracleFailureDetector(
+            sim,
+            shard_pids[s],
+            detection_delay=cluster.detection_delay,
+            initially_crashed=tuple(
+                pid for pid in cluster.initially_crashed if pid in shard_pids[s]
+            ),
+        )
+        for s in range(groups)
+    }
+
+    def make_serving(shard: int, pid: int) -> RsmReplica:
+        return RsmReplica(
+            machine=TxnKvStore(),
+            store=fabric.store(pid),
+            module_factory=lambda host, env, pid=pid, shard=shard: info.factory(
+                pid, env, oracles[shard], host
+            ),
+            batch_max=spec.batch_max,
+            batch_delay=spec.batch_delay,
+            snapshot_every=spec.snapshot_every,
+            catchup_interval=spec.catchup_interval,
+            tracer=tracer,
+        )
+
+    obs_detail = obs is not None and obs.detail
+    replicas: dict[int, RsmReplica] = {}
+    nodes: dict[int, Node] = {}
+    for shard in range(groups):
+        for pid in shard_pids[shard]:
+            replica = make_serving(shard, pid)
+            if obs_detail:
+                replica.obs_detail = True
+            replicas[pid] = replica
+            nodes[pid] = Node(
+                sim,
+                network,
+                pid,
+                shard_pids[shard],
+                replica,
+                service_time=cluster.service_time,
+            )
+            # Crash-only wiring, as in the single-group runner: a rejoined
+            # learner never re-enters its group's broadcast protocol.
+            nodes[pid].add_crash_listener(oracles[shard].on_crash)
+
+    if obs is not None:
+        obs.install(sim, network=network)
+
+    for pid in cluster.initially_crashed:
+        nodes[pid].crash()
+    for pid, node in nodes.items():
+        if pid not in cluster.initially_crashed:
+            node.start()
+
+    # ------------------------------------------------------------ client side
+    servings = {
+        s: ServingSet(
+            pid for pid in shard_pids[s] if pid not in cluster.initially_crashed
+        )
+        for s in range(groups)
+    }
+    think = spec.clients / spec.rate
+    drivers: dict[int, Any] = {}
+    for session in range(spec.clients):
+        shard = session % groups
+        serving_now = servings[shard].pids()
+        drivers[session] = SessionDriver(
+            session=session,
+            home=serving_now[(session // groups) % len(serving_now)],
+            nodes=nodes,
+            replicas=replicas,
+            serving=servings[shard],
+            stream=ShardKeyStream(
+                session, spec.seed, spec.keys, router.keys_for(shard)
+            ),
+            duration=spec.duration,
+            mode=spec.workload,
+            arrivals=(
+                _build_arrivals(spec, session) if spec.workload == "open" else ()
+            ),
+            think_time=think if spec.workload == "closed" else 0.0,
+            start_at=think * (session + 1) / spec.clients,
+            failover_delay=spec.failover_delay,
+        )
+
+    txn_drivers: dict[int, TxnDriver] = {}
+    if spec.txn_clients:
+        txn_think = spec.txn_clients / spec.txn_rate
+        for t in range(spec.txn_clients):
+            session = spec.clients + t  # txn sessions own a disjoint id space
+            txn_drivers[session] = drivers[session] = TxnDriver(
+                session=session,
+                router=router,
+                nodes=nodes,
+                servings=servings,
+                homes={
+                    s: servings[s].pids()[t % len(servings[s].pids())]
+                    for s in range(groups)
+                },
+                duration=spec.duration,
+                think_time=txn_think,
+                txn_keys=spec.txn_keys,
+                rng=random.Random(derive_seed(spec.seed, "rsm-txn", session)),
+                start_at=txn_think * (t + 1) / spec.txn_clients,
+                failover_delay=spec.failover_delay,
+                tracer=tracer,
+            )
+
+    def route_commit(pid: int, request: Request, result: Any, at: float) -> None:
+        driver = drivers.get(request.session)
+        if driver is not None:
+            driver.on_commit(pid, request, result, at)
+
+    for replica in replicas.values():
+        replica.add_commit_listener(route_commit)
+
+    def on_mid_run_crash(pid: int) -> None:
+        servings[pid // gsize].remove(pid)
+        for driver in drivers.values():
+            driver.on_replica_crash(pid, sim.now)
+
+    for node in nodes.values():
+        node.add_crash_listener(on_mid_run_crash)
+    for driver in drivers.values():
+        driver.start()
+
+    # --------------------------------------------------- faults and recovery
+    first_lives = dict(replicas)
+    learners: dict[int, RsmReplica] = {}
+    for pid, at in spec.crash_at:
+        nodes[pid].crash_at(at)
+        if spec.recover_after is not None:
+
+            def rebuild(pid: int = pid) -> RsmReplica:
+                learner = RsmReplica(
+                    machine=TxnKvStore(),
+                    store=fabric.store(pid),
+                    module_factory=None,
+                    snapshot_every=spec.snapshot_every,
+                    catchup_interval=spec.catchup_interval,
+                    tracer=tracer,
+                )
+                if obs_detail:
+                    learner.obs_detail = True
+                learners[pid] = learner
+                replicas[pid] = learner
+                return learner
+
+            nodes[pid].recover_at(at + spec.recover_after, rebuild)
+
+    sim.run(until=spec.horizon, max_events=spec.max_events)
+
+    # ------------------------------------------------------------ validation
+    crashed = sorted(
+        set(pid for pid, _ in spec.crash_at) | set(cluster.initially_crashed)
+    )
+    authorities: dict[int, int] = {}
+    commit_orders: dict[int, list[tuple[str, tuple[str, ...]]]] = {}
+    linearizable = True
+    try:
+        for shard in range(groups):
+            survivors = servings[shard].pids()
+            if not survivors:
+                raise TerminationFailure(
+                    f"no serving replica of shard {shard} survived the run"
+                )
+            authority = min(
+                survivors, key=lambda pid: (-replicas[pid].applied_index, pid)
+            )
+            authorities[shard] = authority
+            auth = replicas[authority]
+
+            try:
+                check_rsm_linearizable(
+                    [(e.request.command, e.result) for e in auth.audit],
+                    TxnKvStore(),
+                )
+            except LinearizabilityViolation:
+                if spec.check:
+                    raise
+                linearizable = False
+
+            shard_learners = {
+                pid: learner
+                for pid, learner in learners.items()
+                if pid in shard_pids[shard]
+            }
+            if spec.check:
+                check_uniform_total_order(
+                    {pid: replicas[pid].abcast.delivered_ids for pid in survivors}
+                )
+                audited = {
+                    pid: [e.request.rid for e in replicas[pid].audit]
+                    for pid in (*survivors, *shard_learners)
+                }
+                check_rsm_exactly_once(audited)
+                check_rsm_session_order(audited)
+                check_rsm_log_consistent(
+                    {
+                        pid: [(e.index, e.request.rid) for e in replicas[pid].audit]
+                        for pid in (*survivors, *shard_learners)
+                    }
+                )
+                for pid in survivors:
+                    if replicas[pid].digest() != auth.digest():
+                        raise TerminationFailure(
+                            f"shard {shard}: survivor {pid} diverged from "
+                            f"replica {authority} at drain"
+                        )
+                for pid, learner in shard_learners.items():
+                    if learner.digest() != auth.digest():
+                        raise TerminationFailure(
+                            f"shard {shard}: recovered replica {pid} did not "
+                            f"converge by the horizon (applied "
+                            f"{learner.applied_index}/{auth.applied_index})"
+                        )
+                leftover = auth.machine.prepared_txids
+                if leftover:
+                    raise TerminationFailure(
+                        f"shard {shard} drained with prepared-but-undecided "
+                        f"transactions (locks leaked): {leftover}"
+                    )
+
+            # Per-shard commit order of transactions, with the keys each
+            # staged here (recovered from the same audit's prepare entries).
+            staged_keys: dict[str, tuple[str, ...]] = {}
+            order: list[tuple[str, tuple[str, ...]]] = []
+            for entry in auth.audit:
+                command = entry.request.command
+                if not isinstance(command, TxnCommand):
+                    continue
+                if command.op == "txn-prepare":
+                    staged_keys[command.txid] = command.keys
+                elif command.op == "txn-commit" and entry.result == "committed":
+                    order.append((command.txid, staged_keys.get(command.txid, ())))
+            commit_orders[shard] = order
+
+        if spec.check:
+            check_cross_shard_serializable(commit_orders)
+            unfinished = {
+                session: [t.txid for t in driver.txns if t.end_at is None]
+                for session, driver in txn_drivers.items()
+                if any(t.end_at is None for t in driver.txns)
+            }
+            if unfinished:
+                raise TerminationFailure(
+                    f"transactions never completed within the horizon: {unfinished}"
+                )
+            unacked = {
+                session: sorted(driver.pending)
+                for session, driver in drivers.items()
+                if driver.pending
+            }
+            if unacked:
+                raise TerminationFailure(
+                    f"requests never acknowledged within the horizon: {unacked}"
+                )
+    except ReproError as err:
+        raise ctx.attach_failure(err)
+
+    return ShardedRsmRunResult(
+        spec=spec,
+        router=router,
+        replicas=replicas,
+        first_lives=first_lives,
+        learners=learners,
+        drivers=drivers,
+        txn_drivers=txn_drivers,
+        authorities=authorities,
+        commit_orders=commit_orders,
+        crashed=crashed,
+        duration=sim.now,
+        network_stats=network.stats.snapshot(),
+        linearizable=linearizable,
+        sim=sim,
+        nodes=nodes,
+    )
+
+
+def sharded_service_metrics(result: ShardedRsmRunResult) -> dict:
+    """JSON-safe metrics section for a sharded run (``RunReport.rsm``).
+
+    Mirrors the single-group section's aggregate fields (so plotting and the
+    CLI read both shapes), then adds ``topology``, per-shard breakdowns and
+    the 2PC transaction counters.
+    """
+    from repro.rsm.runner import window_commit_latencies
+    from repro.workload.metrics import _percentile, summarize
+
+    spec = result.spec
+    offered, latencies = window_commit_latencies(result)
+    window = spec.duration - spec.warmup
+
+    ordered = sorted(latencies)
+    if ordered:
+        latency_ms = {
+            "mean": summarize(ordered).scaled(1e3).mean,
+            "p50": _percentile(ordered, 0.50) * 1e3,
+            "p95": _percentile(ordered, 0.95) * 1e3,
+            "p99": _percentile(ordered, 0.99) * 1e3,
+        }
+    else:
+        latency_ms = None
+
+    auths = {s: result.replicas[pid] for s, pid in result.authorities.items()}
+    per_shard = {
+        str(s): {
+            "authority": result.authorities[s],
+            "committed": auth.applied_index,
+            "txns_committed": len(result.commit_orders.get(s, [])),
+            "digest": auth.digest(),
+            "crashed": [p for p in result.crashed if p in result.shard_pids(s)],
+        }
+        for s, auth in auths.items()
+    }
+
+    txns = [t for d in result.txn_drivers.values() for t in d.txns]
+    txn_section = {
+        "sessions": spec.txn_clients,
+        "started": len(txns),
+        "committed": sum(1 for t in txns if t.decision == "commit"),
+        "aborted": sum(1 for t in txns if t.decision == "abort"),
+        "conflicts": sum(
+            1 for t in txns if any(v == "conflict" for v in t.votes.values())
+        ),
+    }
+
+    snapshot_lives = list(result.first_lives.values()) + list(
+        result.learners.values()
+    )
+    recovery = {
+        str(pid): {
+            "installed_index": learner.recovered_from_index,
+            "replayed": learner.replayed,
+            "snapshot_installs": learner.snapshot_installs,
+            "digest_match": (
+                learner.digest()
+                == auths[pid // spec.group_size].digest()
+            ),
+        }
+        for pid, learner in result.learners.items()
+    }
+
+    return {
+        "committed": result.committed,
+        "offered_window": offered,
+        "committed_window": len(latencies),
+        "ops_per_s": (len(latencies) / window) if window > 0 else 0.0,
+        "latency_ms": latency_ms,
+        "topology": spec.topology.to_dict(),
+        "shards": per_shard,
+        "txns": txn_section,
+        "dedup": {
+            "suppressed": sum(a.dedup.suppressed for a in auths.values()),
+            "retries": sum(d.retries for d in result.drivers.values()),
+        },
+        "snapshots": {
+            "taken": sum(r.snapshots_taken for r in snapshot_lives),
+            "bytes": sum(r.snapshot_bytes for r in snapshot_lives),
+        },
+        "sessions": spec.clients,
+        "crashed": list(result.crashed),
+        "recovery": recovery,
+        "linearizable": result.linearizable,
+    }

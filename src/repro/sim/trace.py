@@ -49,6 +49,13 @@ class KINDS:
     RSM_SNAPSHOT = "rsm-snapshot"
     RSM_CATCHUP = "rsm-catchup"
 
+    # Cross-shard transaction lifecycle (emitted by the 2PC txn driver;
+    # pid is the home replica the step was submitted through).
+    TXN_BEGIN = "txn-begin"
+    TXN_VOTE = "txn-vote"
+    TXN_DECIDE = "txn-decide"
+    TXN_END = "txn-end"
+
     ALL = frozenset(
         {
             A_BROADCAST,
@@ -65,6 +72,10 @@ class KINDS:
             RSM_APPLY,
             RSM_SNAPSHOT,
             RSM_CATCHUP,
+            TXN_BEGIN,
+            TXN_VOTE,
+            TXN_DECIDE,
+            TXN_END,
         }
     )
 

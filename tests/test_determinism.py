@@ -110,6 +110,30 @@ def test_same_seed_identical_report_json():
     assert first == second
 
 
+def test_same_seed_identical_sharded_report_json():
+    # Many consensus groups plus 2PC transaction traffic in one kernel must
+    # stay as reproducible as a single-group run.
+    from repro.engine import RsmRunSpec, TopologySpec
+
+    def spec():
+        return RsmRunSpec(
+            protocol="cabcast-l",
+            rate=120.0,
+            duration=0.4,
+            n=3,
+            clients=4,
+            seed=7,
+            cluster=PAPER_LAN,
+            topology=TopologySpec(groups=2),
+            txn_clients=2,
+            txn_rate=20.0,
+        )
+
+    first = execute_run(spec()).to_json()
+    second = execute_run(spec()).to_json()
+    assert first == second
+
+
 # -------------------------------------------------------------- cancellation
 
 

@@ -139,3 +139,106 @@ class TestSweepEquivalence:
             jobs=1, cache=tmp_path / "cache",
         )
         assert serial == parallel == cached
+
+
+class TestTopologySpecFreeze:
+    """Single-group specs must serialise byte-identically to the pre-topology
+    era: the cache keys and report documents below were produced before
+    ``TopologySpec``/``txn_*`` existed, so any default leaking into the spec
+    dict invalidates every cached sweep on disk."""
+
+    KEY_PLAIN = "0c04a52d234d7b45497432e4ff97973089d81443fe02f2f46fff19729ce026ec"
+    KEY_CRASH = "ee79da8e6946c9a4a3a3a840458837625efc419185d8d0a4d848f1f2e538320e"
+    REPORT_SHA = "6a2b25e243f71493215dde1ccdac26535765f4251a495cb8f5839f433e4a1e0a"
+
+    @staticmethod
+    def _plain_spec():
+        from repro.engine import RsmRunSpec
+
+        return RsmRunSpec(
+            protocol="cabcast-l", rate=120.0, duration=0.4, n=3, clients=4, seed=7
+        )
+
+    def test_single_group_cache_key_frozen(self):
+        assert self._plain_spec().cache_key() == self.KEY_PLAIN
+
+    def test_single_group_crash_cache_key_frozen(self):
+        from repro.engine import PAPER_LAN, RsmRunSpec
+
+        spec = RsmRunSpec(
+            protocol="cabcast-l",
+            rate=150.0,
+            duration=0.5,
+            n=4,
+            clients=4,
+            seed=2,
+            cluster=PAPER_LAN,
+            crash_at=((2, 0.25),),
+        )
+        assert spec.cache_key() == self.KEY_CRASH
+
+    def test_single_group_report_json_frozen(self):
+        import hashlib
+
+        from repro.engine.runner import execute_run
+
+        document = execute_run(self._plain_spec()).to_json().encode("utf-8")
+        assert hashlib.sha256(document).hexdigest() == self.REPORT_SHA
+
+    def test_default_topology_omitted_from_dict(self):
+        body = self._plain_spec().to_dict()
+        for key in ("topology", "txn_clients", "txn_rate", "txn_keys"):
+            assert key not in body
+
+    def test_non_default_topology_round_trips(self):
+        from repro.engine import RsmRunSpec, TopologySpec, spec_from_dict
+
+        spec = RsmRunSpec(
+            protocol="cabcast-l",
+            rate=100.0,
+            duration=0.3,
+            n=3,
+            clients=4,
+            topology=TopologySpec(groups=4, partitioner="range"),
+            txn_clients=2,
+            txn_rate=20.0,
+            txn_keys=3,
+        )
+        assert spec_from_dict(spec.to_dict()) == spec
+        assert spec.cache_key() != self._plain_spec().cache_key()
+
+
+class TestRunContextCompat:
+    """The consolidated ``ctx=`` plumbing must behave exactly like the legacy
+    ``tracer=``/``obs=`` kwargs it replaces."""
+
+    def test_ctx_matches_legacy_tracer_kwarg(self):
+        from repro.engine import RunContext
+
+        spec = AbcastRunSpec(
+            protocol="cabcast-p", rate=60.0, duration=0.3, n=4, seed=9, drain=0.7
+        )
+        legacy_tracer, ctx_tracer = Tracer(), Tracer()
+        via_kwarg = run_abcast(spec, tracer=legacy_tracer)
+        via_ctx = run_abcast(spec, ctx=RunContext(tracer=ctx_tracer))
+        assert via_kwarg.deliveries == via_ctx.deliveries
+        assert via_kwarg.network_stats == via_ctx.network_stats
+        assert repr(legacy_tracer.records) == repr(ctx_tracer.records)
+
+    def test_mixing_ctx_and_legacy_kwargs_rejected(self):
+        from repro.engine import RunContext
+
+        spec = AbcastRunSpec(protocol="cabcast-p", rate=60.0, duration=0.2, n=4)
+        with pytest.raises(ConfigurationError):
+            run_abcast(spec, tracer=Tracer(), ctx=RunContext(tracer=Tracer()))
+
+    def test_ctx_adopts_obs_tracer(self):
+        from repro.engine import RunContext
+        from repro.obs import ObsRuntime
+
+        spec = AbcastRunSpec(
+            protocol="cabcast-p", rate=60.0, duration=0.2, n=4, obs=True
+        )
+        obs = ObsRuntime.from_spec(spec)
+        ctx = RunContext(obs=obs)
+        assert ctx.tracer is obs.tracer

@@ -89,6 +89,10 @@ class TestKinds:
             "rsm-apply",
             "rsm-snapshot",
             "rsm-catchup",
+            "txn-begin",
+            "txn-vote",
+            "txn-decide",
+            "txn-end",
         }
 
     def test_all_tracks_every_declared_constant(self):
