@@ -1,0 +1,109 @@
+"""Compare fresh kernel-bench numbers against the checked-in baseline.
+
+Usage::
+
+    python benchmarks/check_bench.py --fresh /tmp/bench_fresh.json \
+        [--baseline benchmarks/BENCH_kernel.json]
+
+Both files must carry the ``repro.bench-kernel.v1`` schema (see
+``test_bench_kernel.py``).  For every bench present in *both* documents the
+fresh ``ops_per_sec`` must not fall more than the tolerance below the
+baseline's; a larger drop fails the check (exit 1).  Benches present in only
+one document are reported but never fail — new rows land in the baseline on
+the next full regeneration.
+
+The default tolerance is 0.30 (30%), wide enough to absorb machine-to-machine
+variance between the box that generated the baseline and a CI runner; set
+``REPRO_BENCH_TOLERANCE`` (a fraction, e.g. ``0.5``) to widen or tighten it.
+
+Per-op rates are compared rather than absolute wall times so the ~50x-smaller
+``REPRO_BENCH_SMOKE`` workloads remain comparable to the full baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+BENCH_SCHEMA = "repro.bench-kernel.v1"
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_kernel.json"
+DEFAULT_TOLERANCE = 0.30
+
+
+def load_document(path: Path) -> dict:
+    try:
+        document = json.loads(path.read_text())
+    except FileNotFoundError:
+        sys.exit(f"check_bench: {path}: file not found")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"check_bench: {path}: invalid JSON ({exc})")
+    schema = document.get("schema")
+    if schema != BENCH_SCHEMA:
+        sys.exit(f"check_bench: {path}: schema {schema!r} != {BENCH_SCHEMA!r}")
+    benches = document.get("benches")
+    if not isinstance(benches, dict) or not benches:
+        sys.exit(f"check_bench: {path}: missing or empty 'benches' table")
+    return document
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Return a list of failure messages (empty when the check passes)."""
+    failures: list[str] = []
+    base_benches = baseline["benches"]
+    fresh_benches = fresh["benches"]
+    for name in sorted(base_benches.keys() | fresh_benches.keys()):
+        if name not in base_benches:
+            print(f"  {name}: new bench (no baseline row) — skipped")
+            continue
+        if name not in fresh_benches:
+            print(f"  {name}: not in fresh results — skipped")
+            continue
+        base_rate = base_benches[name].get("ops_per_sec")
+        fresh_rate = fresh_benches[name].get("ops_per_sec")
+        if not base_rate or not fresh_rate:
+            print(f"  {name}: missing ops_per_sec — skipped")
+            continue
+        ratio = fresh_rate / base_rate
+        verdict = "ok"
+        if ratio < 1.0 - tolerance:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: {fresh_rate:,} ops/s is {1 - ratio:.0%} below "
+                f"baseline {base_rate:,} ops/s (tolerance {tolerance:.0%})"
+            )
+        print(f"  {name}: {fresh_rate:,} vs {base_rate:,} ops/s ({ratio:.2f}x) {verdict}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", required=True, type=Path, help="freshly measured results")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    args = parser.parse_args(argv)
+
+    raw = os.environ.get("REPRO_BENCH_TOLERANCE", "")
+    try:
+        tolerance = float(raw) if raw else DEFAULT_TOLERANCE
+    except ValueError:
+        sys.exit(f"check_bench: REPRO_BENCH_TOLERANCE={raw!r} is not a number")
+    if not 0.0 <= tolerance < 1.0:
+        sys.exit(f"check_bench: tolerance {tolerance} outside [0, 1)")
+
+    baseline = load_document(args.baseline)
+    fresh = load_document(args.fresh)
+    print(f"check_bench: {args.fresh} vs {args.baseline} (tolerance {tolerance:.0%})")
+    failures = compare(baseline, fresh, tolerance)
+    if failures:
+        print("check_bench: FAIL")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("check_bench: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,10 +80,17 @@ class CAbcast(AbcastModule):
     # -------------------------------------------------------------- plumbing
 
     def on_message(self, src: int, msg: Any) -> None:
-        if isinstance(msg, Scoped) and msg.scope and msg.scope[0] == "cons":
-            self._instance(msg.scope[1]).on_message(src, msg.inner)
-        else:
-            self.wab.on_message(src, msg)
+        if type(msg) is Scoped:
+            scope = msg.scope
+            if scope and scope[0] == "cons":
+                # _instance's dict hit, inlined: nearly every message lands
+                # on an already-created consensus instance.
+                instance = self._instances.get(scope[1])
+                if instance is None:
+                    instance = self._instance(scope[1])
+                instance.on_message(src, msg.inner)
+                return
+        self.wab.on_message(src, msg)
 
     def enable_obs(self, tracer) -> None:
         super().enable_obs(tracer)

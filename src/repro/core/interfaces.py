@@ -60,6 +60,9 @@ class ConsensusModule(abc.ABC):
 
     def __init__(self, env: Environment, on_decide: Callable[[Any], None] | None = None) -> None:
         self.env = env
+        # T2 announcement targets (everyone but self), fixed for the
+        # module's lifetime — one grouped send per decision.
+        self._announce_targets = tuple(p for p in env.peers if p != env.pid)
         self._on_decide = on_decide
         self.decision: DecisionRecord | None = None
         self._proposed = False
@@ -102,7 +105,7 @@ class ConsensusModule(abc.ABC):
         self._start(value)
 
     def on_message(self, src: int, msg: Any) -> None:
-        if isinstance(msg, Decide):
+        if type(msg) is Decide:  # exact type: Decide is a final message shape
             self._on_decide_message(src, msg)
         else:
             self._on_protocol_message(src, msg)
@@ -141,14 +144,10 @@ class ConsensusModule(abc.ABC):
                 self.env.now(), self.env.pid, "decided", steps, "round", value, self.instance_label
             )
         if self.announce_decide:
-            env = self.env
-            pid = env.pid
             # One shared (immutable) DECIDE for all peers: byte accounting
-            # then pays a single repr instead of n - 1.
-            decide = Decide(value, steps)
-            for dst in env.peers:
-                if dst != pid:
-                    env.send(dst, decide)
+            # then pays a single repr instead of n - 1, and the grouped send
+            # rides the network's fan-out fast path.
+            self.env.send_many(self._announce_targets, Decide(value, steps))
         self._deliver_decision(value)
 
     def _on_decide_message(self, src: int, msg: Decide) -> None:
@@ -167,12 +166,7 @@ class ConsensusModule(abc.ABC):
                 self.instance_label,
             )
         if self.announce_decide:
-            env = self.env
-            pid = env.pid
-            decide = Decide(msg.value, msg.round)
-            for dst in env.peers:
-                if dst != pid:
-                    env.send(dst, decide)
+            self.env.send_many(self._announce_targets, Decide(msg.value, msg.round))
         self._deliver_decision(msg.value)
 
     def _deliver_decision(self, value: Any) -> None:

@@ -75,6 +75,7 @@ class PConsensus(ConsensusModule):
     ) -> None:
         super().__init__(env, on_decide)
         n = env.n
+        self._n = n  # group size is fixed; skip the per-message property
         self.f = (n - 1) // 3 if f is None else f
         if not 0 <= self.f or not 3 * self.f < n:
             raise ConfigurationError(
@@ -102,7 +103,7 @@ class PConsensus(ConsensusModule):
         self._advance()
 
     def _on_protocol_message(self, src: int, msg: Any) -> None:
-        if not isinstance(msg, PProp):
+        if type(msg) is not PProp:  # exact type: PProp is a final message shape
             return
         self._props.setdefault(msg.round, {})[src] = msg
         if not self.decided and msg.round == self.round:
@@ -119,7 +120,7 @@ class PConsensus(ConsensusModule):
     def _advance(self) -> None:
         r = self.round
         received = self._props.get(r, {})
-        n, f = self.env.n, self.f
+        n, f = self._n, self.f
 
         if self._quorum is None:
             if len(received) < n - f:

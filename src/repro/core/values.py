@@ -53,6 +53,16 @@ def value_with_count_at_least(
     count wins; exact ties break on :func:`canonical_key` so every process
     makes the same choice.
     """
+    values = list(values)
+    if len(values) >= threshold:
+        # Fast path: unanimity (the no-collision common case of one-step
+        # runs) has a unique winner without building a Counter.
+        first = values[0]
+        for v in values:
+            if v != first:
+                break
+        else:
+            return first
     counts = Counter(values)
     eligible = [(count, v) for v, count in counts.items() if count >= threshold]
     if not eligible:

@@ -146,12 +146,22 @@ def run_chunk(chunk: list[tuple[int, object]]) -> list[tuple[int, str, bytes]]:
     to the cache (:meth:`RunReport.to_json`), so shipping it instead of a
     pickled ``RunReport`` both shrinks IPC and lets the parent write cache
     entries without re-serialising.
+
+    ``REPRO_KERNEL_BATCH=0`` in the worker's environment forces every spec
+    onto the serial kernel/network paths (``batch=False``) for A/B
+    debugging.  Reports are byte-identical either way, and the parent keys
+    the cache by its own copy of the spec, so cache keys are unaffected.
     """
+    from dataclasses import replace
+
     from repro.engine.runner import execute_run
 
+    force_serial = os.environ.get("REPRO_KERNEL_BATCH") == "0"
     out: list[tuple[int, str, bytes]] = []
     for index, spec in chunk:
         try:
+            if force_serial and getattr(spec, "batch", True):
+                spec = replace(spec, batch=False)
             report = execute_run(spec)
         except Exception as exc:  # noqa: BLE001 - reported to the parent
             message = f"{type(exc).__name__}: {exc}"

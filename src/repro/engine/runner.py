@@ -89,6 +89,7 @@ def run_abcast_spec(
         require_all_delivered=spec.require_all_delivered,
         max_events=spec.max_events,
         capacity=cluster.capacity,
+        batch=spec.batch,
         ctx=ctx,
     )
 
@@ -118,6 +119,7 @@ def run_consensus_spec(
         check=spec.check,
         require_all_alive_decide=spec.require_all_alive_decide,
         service_time=cluster.service_time,
+        batch=spec.batch,
         ctx=ctx,
     )
 

@@ -262,6 +262,19 @@ def _validate_obs(spec: Any) -> None:
         raise ConfigurationError("obs_flight_recorder must be >= 0")
 
 
+def _append_batch(spec: Any, body: dict) -> dict:
+    """Serialize the kernel-batching flag only when it departs from True.
+
+    ``batch`` selects the sorted-cohort kernel drain and the network fan-out
+    fast path; both produce byte-identical results to the serial loops, so
+    the default stays out of the dict and every pre-batching spec keeps its
+    exact cache key and JSON form.
+    """
+    if not spec.batch:
+        body["batch"] = False
+    return body
+
+
 def _hash_payload(kind: str, body: dict) -> str:
     canonical = json.dumps(
         {"version": SPEC_VERSION, "kind": kind, **body},
@@ -300,6 +313,9 @@ class AbcastRunSpec:
     obs: bool = False
     obs_metrics_interval: float = 0.0
     obs_flight_recorder: int = 0
+    #: Kernel/network batched execution (False = serial loops; results are
+    #: byte-identical either way, this is an A/B debugging escape hatch).
+    batch: bool = True
 
     def __post_init__(self) -> None:
         if self.rate <= 0 or self.duration <= 0:
@@ -329,7 +345,7 @@ class AbcastRunSpec:
             "require_all_delivered": self.require_all_delivered,
             "max_events": self.max_events,
         }
-        return _append_obs(self, body)
+        return _append_batch(self, _append_obs(self, body))
 
     @classmethod
     def from_dict(cls, data: dict) -> "AbcastRunSpec":
@@ -350,6 +366,7 @@ class AbcastRunSpec:
             obs=data.get("obs", False),
             obs_metrics_interval=data.get("obs_metrics_interval", 0.0),
             obs_flight_recorder=data.get("obs_flight_recorder", 0),
+            batch=data.get("batch", True),
         )
 
     def cache_key(self) -> str:
@@ -375,6 +392,7 @@ class ConsensusRunSpec:
     obs: bool = False
     obs_metrics_interval: float = 0.0
     obs_flight_recorder: int = 0
+    batch: bool = True
 
     def __post_init__(self) -> None:
         if len(self.proposals) < 2:
@@ -398,7 +416,7 @@ class ConsensusRunSpec:
             "check": self.check,
             "require_all_alive_decide": self.require_all_alive_decide,
         }
-        return _append_obs(self, body)
+        return _append_batch(self, _append_obs(self, body))
 
     @classmethod
     def from_dict(cls, data: dict) -> "ConsensusRunSpec":
@@ -415,6 +433,7 @@ class ConsensusRunSpec:
             obs=data.get("obs", False),
             obs_metrics_interval=data.get("obs_metrics_interval", 0.0),
             obs_flight_recorder=data.get("obs_flight_recorder", 0),
+            batch=data.get("batch", True),
         )
 
     def cache_key(self) -> str:
@@ -472,6 +491,9 @@ class RsmRunSpec:
     obs: bool = False
     obs_metrics_interval: float = 0.0
     obs_flight_recorder: int = 0
+    #: Kernel-level batched execution (unrelated to the RSM's command
+    #: batching knobs ``batch_max``/``batch_delay`` above).
+    batch: bool = True
 
     def __post_init__(self) -> None:
         if self.rate <= 0 or self.duration <= 0:
@@ -564,7 +586,7 @@ class RsmRunSpec:
             body["txn_clients"] = self.txn_clients
             body["txn_rate"] = self.txn_rate
             body["txn_keys"] = self.txn_keys
-        return _append_obs(self, body)
+        return _append_batch(self, _append_obs(self, body))
 
     @classmethod
     def from_dict(cls, data: dict) -> "RsmRunSpec":
@@ -596,6 +618,7 @@ class RsmRunSpec:
             obs=data.get("obs", False),
             obs_metrics_interval=data.get("obs_metrics_interval", 0.0),
             obs_flight_recorder=data.get("obs_flight_recorder", 0),
+            batch=data.get("batch", True),
         )
 
     def cache_key(self) -> str:

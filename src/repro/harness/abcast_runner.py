@@ -139,6 +139,7 @@ def run_abcast(
     use_oracle_fd: bool = True,
     max_events: int | None = None,
     capacity=None,
+    batch: bool = True,
     tracer=None,
     obs=None,
     ctx=None,
@@ -172,7 +173,7 @@ def run_abcast(
     ctx = RunContext.resolve(ctx, tracer, obs)
     tracer, obs = ctx.tracer, ctx.obs
     pids = list(range(n))
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=seed, batch=batch)
     network = Network(
         sim,
         delay=delay,

@@ -130,6 +130,7 @@ def run_consensus(
     check: bool = True,
     require_all_alive_decide: bool = True,
     service_time: float = 0.0,
+    batch: bool = True,
     tracer=None,
     obs=None,
     ctx=None,
@@ -166,7 +167,7 @@ def run_consensus(
 
     ctx = RunContext.resolve(ctx, tracer, obs)
     tracer, obs = ctx.tracer, ctx.obs
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=seed, batch=batch)
     network = Network(sim, delay=delay)
     oracle: OracleFailureDetector | None = None
     if fd_factory is None:

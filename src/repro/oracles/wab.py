@@ -74,7 +74,7 @@ class WabOracle:
         self._deliver = deliver
         self.repeats = repeats
         self._seq = 0
-        self._seen: set[tuple[int, Any, int, int]] = set()
+        self._seen: set[WabMessage] = set()
         self._positions: dict[int, int] = {}
         self.broadcasts = 0
         self.deliveries = 0
@@ -94,10 +94,11 @@ class WabOracle:
     def on_message(self, src: int, msg: Any) -> None:
         if not isinstance(msg, WabMessage):
             return
-        key = (msg.instance, msg.payload, msg.origin, msg.seq)
-        if key in self._seen:
+        # The (frozen, slotted) message is its own dedup key: field equality
+        # and hashing match the (instance, payload, origin, seq) tuple.
+        if msg in self._seen:
             return  # uniform integrity: deliver (k, m) at most once
-        self._seen.add(key)
+        self._seen.add(msg)
         position = self._positions.get(msg.instance, 0)
         self._positions[msg.instance] = position + 1
         self.deliveries += 1

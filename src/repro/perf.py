@@ -117,16 +117,29 @@ def collect(
             "events_scheduled": sim.events_scheduled,
             "events_pending": sim.pending(),
             "compactions": sim.compactions,
+            # Sorted-cohort drain counters: how many gather cycles ran and
+            # how many events they covered (the rest went through per-event
+            # pops — shallow-queue fallback or merge-guard executions).
+            "drain_batches": getattr(sim, "drain_batches", 0),
+            "batched_events": getattr(sim, "batched_events", 0),
         }
     }
     if network_stats is not None:
-        components["network"] = {
+        network_component = {
             "sent": network_stats.get("sent", 0),
             "delivered": network_stats.get("delivered", 0),
             "dropped": network_stats.get("dropped", 0),
             "bytes_sent": network_stats.get("bytes_sent", 0),
             "by_kind": dict(network_stats.get("by_kind", {})),
         }
+        if nodes:
+            # Fan-out fast-path counters live on the live NetworkStats
+            # object (kept out of snapshot() so report JSON stays stable
+            # across send paths); reach it through any registered node.
+            live = next(iter(nodes.values())).network.stats
+            network_component["fanout_batches"] = getattr(live, "fanout_batches", 0)
+            network_component["fanout_messages"] = getattr(live, "fanout_messages", 0)
+        components["network"] = network_component
     if nodes is not None:
         components["nodes"] = {
             str(pid): {
@@ -198,6 +211,14 @@ def format_perf(perf: Mapping[str, Any]) -> str:
             f"{kernel['events_pending']:,} pending at exit, "
             f"{kernel['compactions']} compaction(s)"
         )
+        batched = kernel.get("batched_events", 0)
+        if batched:
+            batches = kernel.get("drain_batches", 0)
+            mean = batched / batches if batches else 0.0
+            lines.append(
+                f"  drain  : {batched:,} events in {batches:,} sorted "
+                f"cohort(s) (mean {mean:,.0f}/batch)"
+            )
     network = components.get("network")
     if network is not None:
         lines.append(
@@ -205,6 +226,13 @@ def format_perf(perf: Mapping[str, Any]) -> str:
             f"delivered, {network['dropped']:,} dropped, "
             f"{network['bytes_sent']:,} bytes on the wire"
         )
+        fanout_messages = network.get("fanout_messages", 0)
+        if fanout_messages:
+            fanout_batches = network.get("fanout_batches", 0)
+            lines.append(
+                f"  fan-out: {fanout_messages:,} messages in "
+                f"{fanout_batches:,} batch(es)"
+            )
         by_kind = network.get("by_kind", {})
         if by_kind:
             ranked = sorted(by_kind.items(), key=lambda kv: (-kv[1], kv[0]))

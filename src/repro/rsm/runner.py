@@ -118,7 +118,7 @@ def run_rsm(spec: RsmRunSpec, tracer=None, obs=None, ctx=None) -> RsmRunResult:
         if pid not in pids:
             raise ConfigurationError(f"crash_at names unknown replica {pid}")
 
-    sim = Simulator(seed=spec.seed)
+    sim = Simulator(seed=spec.seed, batch=spec.batch)
     network = Network(
         sim,
         delay=cluster.delay,

@@ -412,7 +412,7 @@ def run_sharded_rsm(
     router = ShardRouter(groups, spec.keys, spec.topology.partitioner)
     shard_pids = {s: list(range(s * gsize, (s + 1) * gsize)) for s in range(groups)}
 
-    sim = Simulator(seed=spec.seed)
+    sim = Simulator(seed=spec.seed, batch=spec.batch)
     network = Network(
         sim,
         delay=cluster.delay,

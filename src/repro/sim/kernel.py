@@ -25,6 +25,23 @@ and bumps a counter; the dead entry stays queued until it surfaces at the heap
 top (where it is discarded) or until cancelled entries outnumber live ones,
 at which point the queue is compacted in place.  ``pending()`` is therefore
 O(1), and a long-lived pile of cancelled timers costs memory only, not time.
+
+Batched drain (cohort execution)
+--------------------------------
+``run()`` drains the queue in *cohorts*: whenever the queue is at least
+``_BATCH_MIN`` deep, the whole backlog is moved into a reusable list with one
+C-level copy, sorted once (a sorted ``(time, seq, ...)`` array generalises
+the equal-timestamp cohort — it is the maximal run of entries already in
+execution order), and executed through a single dispatch frame.  One
+``list.sort`` replaces one ``heappop`` *per event*, which is where the
+per-event Python overhead of the old loop lived.  Correctness under
+mid-cohort scheduling is preserved by a *merge guard*: before each cohort
+entry fires, any newly pushed heap entry that precedes it (tuple order) is
+popped and executed first, so the observable event order — and therefore
+every trace byte — is identical to the one-event-at-a-time loop.  Events
+cancelled after their cohort was gathered are skipped at fire time, exactly
+as a still-queued entry would be.  ``max_events`` runs keep the serial loop
+(its budget may expire mid-cohort), as does ``batch=False``.
 """
 
 from __future__ import annotations
@@ -32,7 +49,9 @@ from __future__ import annotations
 import heapq
 import random
 import zlib
-from heapq import heappop, heappush
+from bisect import bisect_right
+from heapq import heapify, heappop, heappush
+from operator import itemgetter
 from typing import Any, Callable, Iterator
 
 from repro.errors import SimulationError
@@ -46,6 +65,20 @@ _EPSILON = 1e-12
 #: Compaction policy: rebuild the heap once at least this many cancelled
 #: entries are queued *and* they outnumber the live ones.
 _COMPACT_MIN_CANCELLED = 64
+
+#: Queue depth below which the batched drain falls back to per-event pops:
+#: copying + sorting a near-empty queue costs more than it saves.
+_BATCH_MIN = 64
+
+#: The reusable cohort list is dropped (and reallocated small) after a batch
+#: larger than this, so one huge drain does not pin its memory forever.
+_BATCH_KEEP = 4096
+
+#: Sort/bisect key of a heap entry (its timestamp).
+_ENTRY_TIME = itemgetter(0)
+
+#: Sentinel horizon for unbounded runs (one float compare per event).
+_INF = float("inf")
 
 
 def derive_seed(root_seed: int, *names: Any) -> int:
@@ -88,7 +121,15 @@ class Event:
         self._sim = sim
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics only
-        state = "cancelled" if self.cancelled else "pending" if self._sim else "done"
+        # _sim is cleared exactly once, when the event fires, so it must be
+        # consulted first: cancel() after firing is a documented no-op and
+        # must not relabel a fired event as "cancelled".
+        if self._sim is None:
+            state = "done"
+        elif self.cancelled:
+            state = "cancelled"
+        else:
+            state = "pending"
         return f"Event(time={self.time!r}, seq={self.seq}, {state})"
 
     def cancel(self) -> None:
@@ -113,6 +154,11 @@ class Simulator:
     ----------
     seed:
         Root seed for all random streams obtained through :meth:`rng`.
+    batch:
+        When True (the default), :meth:`run` drains deep queues in sorted
+        cohorts (see module docstring).  Execution order — and therefore
+        every same-seed trace byte — is identical either way; ``batch=False``
+        keeps the one-event-at-a-time loop for A/B debugging.
 
     Example
     -------
@@ -125,8 +171,9 @@ class Simulator:
     ['a', 'b']
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, batch: bool = True) -> None:
         self.seed = seed
+        self.batch = batch
         # Heap entries are (time, seq, fn, args, event-or-None): seq is
         # unique, so tuple comparison never reaches fn.  The Event handle is
         # only materialised by schedule()/schedule_at(); the internal
@@ -140,6 +187,13 @@ class Simulator:
         self._events_processed = 0
         self._cancelled_queued = 0
         self._compactions = 0
+        # Batched-drain state: the reusable cohort list, the count of cohort
+        # entries not yet fired (so pending() matches the serial loop from
+        # inside a handler), and lifetime counters surfaced by repro.perf.
+        self._drain_batch: list[tuple[float, int, Callable[..., None], tuple, Event | None]] = []
+        self._drain_remaining = 0
+        self._drain_batches = 0
+        self._drain_batched = 0
 
     # ------------------------------------------------------------------ time
 
@@ -162,6 +216,16 @@ class Simulator:
     def compactions(self) -> int:
         """Number of heap compactions performed (diagnostics)."""
         return self._compactions
+
+    @property
+    def drain_batches(self) -> int:
+        """Number of sorted-cohort drain cycles executed (diagnostics)."""
+        return self._drain_batches
+
+    @property
+    def batched_events(self) -> int:
+        """Events gathered into sorted cohorts rather than popped one by one."""
+        return self._drain_batched
 
     # ------------------------------------------------------------- randomness
 
@@ -241,13 +305,52 @@ class Simulator:
         self._seq = seq + 1
         heappush(self._queue, (now + delay, seq, fn, args, None))
 
+    def schedule_calls_at(
+        self, fn: Callable[..., None], calls: list[tuple[float, tuple]]
+    ) -> None:
+        """Bulk :meth:`schedule_call_at`: one shared ``fn``, many ``(time, args)``.
+
+        Used by the network fan-out fast path to push a whole broadcast's
+        arrivals with the loop constants (queue, seq counter, now) hoisted
+        out of the per-destination work.  Timestamp arithmetic and the
+        negative-delay clamp are identical to :meth:`schedule_call_at`, so
+        the resulting heap entries are byte-for-byte the ones ``n``
+        individual calls would have produced.
+        """
+        queue = self._queue
+        push = heappush
+        now = self._now
+        seq = self._seq
+        try:
+            for time, args in calls:
+                delay = time - now
+                if delay < 0.0:
+                    if delay >= -_EPSILON:
+                        delay = 0.0
+                    else:
+                        raise SimulationError(
+                            f"cannot schedule into the past (delay={delay!r})"
+                        )
+                push(queue, (now + delay, seq, fn, args, None))
+                seq += 1
+        finally:
+            self._seq = seq
+
     # ---------------------------------------------------------- cancellation
 
     def _note_cancel(self) -> None:
-        """Account for one newly cancelled, still-queued event."""
+        """Account for one newly cancelled, still-queued event.
+
+        Compaction is deferred while a cohort is mid-drain
+        (``_drain_remaining`` nonzero): ``_compact`` resets the cancelled
+        counter from what it can see in the heap, but batch-resident
+        cancelled entries live outside the heap and are settled one by one
+        as the drain skips them.
+        """
         self._cancelled_queued += 1
         if (
-            self._cancelled_queued >= _COMPACT_MIN_CANCELLED
+            self._drain_remaining == 0
+            and self._cancelled_queued >= _COMPACT_MIN_CANCELLED
             and self._cancelled_queued * 2 > len(self._queue)
         ):
             self._compact()
@@ -282,6 +385,18 @@ class Simulator:
             raise SimulationError("Simulator.run() is not re-entrant")
         self._running = True
         self._stopped = False
+        try:
+            if max_events is None and self.batch:
+                self._run_batched(until)
+            else:
+                self._run_serial(until, max_events)
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def _run_serial(self, until: float | None, max_events: int | None) -> None:
+        """Legacy one-event-at-a-time drain loop (also the budgeted path)."""
         budget = max_events
         queue = self._queue
         pop = heappop
@@ -309,14 +424,150 @@ class Simulator:
                 self._now = time
                 processed += 1
                 fn(*args)
-            if until is not None and not self._stopped and self._now < until:
-                self._now = until
         finally:
             self._events_processed += processed
-            self._running = False
+
+    def _run_batched(self, until: float | None) -> None:
+        """Sorted-cohort drain: gather the backlog, sort once, dispatch flat.
+
+        See the module docstring for the design.  Invariants maintained per
+        cohort:
+
+        * ``self._queue`` keeps its object identity (external fast paths
+          alias it) — the backlog is copied out and the list cleared.
+        * Events keep their ``_sim`` link until they actually fire, so
+          ``cancel()`` on a batch-resident event still accounts correctly
+          and the drain skips it at fire time, exactly as the heap would.
+        * ``_drain_remaining`` tracks the unfired remainder of the cohort
+          whenever a handler runs, keeping :meth:`pending` exact.
+        * ``stop()`` or an exception pushes the unexecuted tail back onto
+          the heap, leaving the queue consistent for a later resume.
+        """
+        queue = self._queue
+        pop = heappop
+        batch = self._drain_batch
+        # One float compare per event instead of a None test plus compare.
+        horizon = _INF if until is None else until
+        processed = 0
+        batches = 0
+        batched = 0
+        try:
+            while queue and not self._stopped:
+                if len(queue) < _BATCH_MIN:
+                    # Shallow queue: gathering would cost more than it saves.
+                    # Pop eagerly (no root peek): only the one horizon-crossing
+                    # entry per run is ever pushed back.
+                    entry = pop(queue)
+                    time, _seq, fn, args, event = entry
+                    if event is not None and event.cancelled:
+                        self._cancelled_queued -= 1
+                        continue
+                    if time > horizon:
+                        heappush(queue, entry)
+                        break
+                    if time < self._now:
+                        raise SimulationError(
+                            f"event queue corrupted: event at {time} < now {self._now}"
+                        )
+                    if event is not None:
+                        event._sim = None
+                    self._now = time
+                    processed += 1
+                    fn(*args)
+                    continue
+
+                # Gather: one C-level copy plus one sort replaces a heappop
+                # per event.  Copy-and-clear preserves the queue's identity.
+                batch[:] = queue
+                del queue[:]
+                batch.sort()
+                first = batch[0][0]
+                if first < self._now:
+                    queue.extend(batch)  # sorted into empty queue: valid heap
+                    del batch[:]
+                    raise SimulationError(
+                        f"event queue corrupted: event at {first} < now {self._now}"
+                    )
+                if batch[-1][0] > horizon:
+                    cut = bisect_right(batch, horizon, key=_ENTRY_TIME)
+                    queue.extend(batch[cut:])
+                    del batch[cut:]
+                    if not batch:
+                        break
+                n = len(batch)
+                batches += 1
+                batched += n
+                i = 0
+                try:
+                    while i < n:
+                        if self._stopped:
+                            break
+                        entry = batch[i]
+                        if queue and queue[0] < entry:
+                            # Merge guard: events scheduled mid-cohort that
+                            # precede the next cohort entry (tuple order —
+                            # their seqs are fresher, so comparison never
+                            # reaches fn) fire first, preserving the exact
+                            # serial execution order.
+                            self._drain_remaining = n - i
+                            while queue:
+                                head = queue[0]
+                                if not head < entry:
+                                    break
+                                pop(queue)
+                                mtime, _mseq, mfn, margs, mevent = head
+                                if mevent is not None:
+                                    if mevent.cancelled:
+                                        self._cancelled_queued -= 1
+                                        continue
+                                    mevent._sim = None
+                                if mtime < self._now:
+                                    raise SimulationError(
+                                        f"event queue corrupted: event at "
+                                        f"{mtime} < now {self._now}"
+                                    )
+                                self._now = mtime
+                                processed += 1
+                                mfn(*margs)
+                                if self._stopped:
+                                    break
+                            if self._stopped:
+                                break
+                        time, _seq, fn, args, event = entry
+                        i += 1
+                        if event is not None:
+                            if event.cancelled:
+                                self._cancelled_queued -= 1
+                                continue
+                            event._sim = None
+                        self._now = time
+                        self._drain_remaining = n - i
+                        processed += 1
+                        fn(*args)
+                finally:
+                    self._drain_remaining = 0
+                    if i < n:
+                        # stop()/exception mid-cohort: unexecuted tail back
+                        # on the heap so the queue stays consistent.
+                        del batch[:i]
+                        queue.extend(batch)
+                        if len(queue) != len(batch):
+                            heapify(queue)
+                    if n > _BATCH_KEEP:
+                        batch = self._drain_batch = []
+                    else:
+                        del batch[:]
+        finally:
+            self._events_processed += processed
+            self._drain_batches += batches
+            self._drain_batched += batched
 
     def step(self) -> bool:
-        """Execute exactly one pending event.  Returns False if none remain."""
+        """Execute exactly one pending event.  Returns False if none remain.
+
+        Applies the same queue-corruption check as :meth:`run`, so a
+        step-driven drain cannot silently rewind virtual time either.
+        """
         queue = self._queue
         while queue:
             time, _seq, fn, args, event = heappop(queue)
@@ -324,6 +575,11 @@ class Simulator:
                 if event.cancelled:
                     self._cancelled_queued -= 1
                     continue
+            if time < self._now:
+                raise SimulationError(
+                    f"event queue corrupted: event at {time} < now {self._now}"
+                )
+            if event is not None:
                 event._sim = None
             self._now = time
             self._events_processed += 1
@@ -336,8 +592,13 @@ class Simulator:
         self._stopped = True
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued.  O(1)."""
-        return len(self._queue) - self._cancelled_queued
+        """Number of live (non-cancelled) events still queued.  O(1).
+
+        During a batched drain the unfired remainder of the current cohort
+        counts as queued, so a handler observes exactly the value it would
+        under the serial loop — obs metric samples depend on this.
+        """
+        return len(self._queue) + self._drain_remaining - self._cancelled_queued
 
     def drain_iter(self, until: float | None = None) -> Iterator[float]:
         """Yield the virtual time after each executed event (test helper)."""

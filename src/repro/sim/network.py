@@ -75,9 +75,19 @@ def _lognorm(rng, mu: float, sigma: float) -> float:
 
 
 class DelayModel(Protocol):
-    """Samples a one-way message delay in seconds."""
+    """Samples a one-way message delay in seconds.
+
+    ``sample_many(rng, n)`` is the vectorized contract used by the fan-out
+    fast path: it must consume ``rng`` in **exactly** the order and count of
+    ``n`` sequential ``sample`` calls, so a batched broadcast draws the same
+    delays — bit for bit — as a per-destination loop.  Models without the
+    method still work; the network falls back to ``n`` ``sample`` calls.
+    """
 
     def sample(self, rng) -> float:  # pragma: no cover - protocol signature
+        ...
+
+    def sample_many(self, rng, n: int) -> list[float]:  # pragma: no cover
         ...
 
     def mean(self) -> float:  # pragma: no cover - protocol signature
@@ -97,6 +107,10 @@ class ConstantDelay:
     def sample(self, rng) -> float:
         return self.delay
 
+    def sample_many(self, rng, n: int) -> list[float]:
+        # Constant delays consume no randomness, matching n sample() calls.
+        return [self.delay] * n
+
     def mean(self) -> float:
         return self.delay
 
@@ -114,6 +128,12 @@ class UniformDelay:
 
     def sample(self, rng) -> float:
         return rng.uniform(self.low, self.high)
+
+    def sample_many(self, rng, n: int) -> list[float]:
+        uniform = rng.uniform
+        low = self.low
+        high = self.high
+        return [uniform(low, high) for _ in range(n)]
 
     def mean(self) -> float:
         return (self.low + self.high) / 2
@@ -134,6 +154,14 @@ class ExponentialDelay:
         if self.mean_extra == 0:
             return self.base
         return self.base + rng.expovariate(1.0 / self.mean_extra)
+
+    def sample_many(self, rng, n: int) -> list[float]:
+        base = self.base
+        if self.mean_extra == 0:
+            return [base] * n
+        expovariate = rng.expovariate
+        lambd = 1.0 / self.mean_extra
+        return [base + expovariate(lambd) for _ in range(n)]
 
     def mean(self) -> float:
         return self.base + self.mean_extra
@@ -170,6 +198,28 @@ class LogNormalDelay:
                 break
         return _exp(self._mu + z * self.sigma)
 
+    def sample_many(self, rng, n: int) -> list[float]:
+        # n inlined _lognorm draws with the loop constants hoisted.  Same
+        # draws and float expressions as n sample() calls, bit for bit.
+        random = rng.random
+        mu = self._mu
+        sigma = self.sigma
+        magic = NV_MAGICCONST
+        log = _log
+        exp = _exp
+        out = []
+        append = out.append
+        for _ in range(n):
+            while True:
+                u1 = random()
+                u2 = 1.0 - random()
+                z = magic * (u1 - 0.5) / u2
+                zz = z * z / 4.0
+                if zz <= -log(u2):
+                    break
+            append(exp(mu + z * sigma))
+        return out
+
     def mean(self) -> float:
         return self.mean_delay
 
@@ -203,6 +253,29 @@ class LanDelay:
             if zz <= -_log(u2):
                 break
         return self.base + _exp(self._mu + z * self.jitter_sigma)
+
+    def sample_many(self, rng, n: int) -> list[float]:
+        # n inlined _lognorm draws with the loop constants hoisted.  Same
+        # draws and float expressions as n sample() calls, bit for bit.
+        random = rng.random
+        base = self.base
+        mu = self._mu
+        sigma = self.jitter_sigma
+        magic = NV_MAGICCONST
+        log = _log
+        exp = _exp
+        out = []
+        append = out.append
+        for _ in range(n):
+            while True:
+                u1 = random()
+                u2 = 1.0 - random()
+                z = magic * (u1 - 0.5) / u2
+                zz = z * z / 4.0
+                if zz <= -log(u2):
+                    break
+            append(base + exp(mu + z * sigma))
+        return out
 
     def mean(self) -> float:
         return self.base + self.jitter_mean
@@ -331,6 +404,11 @@ class NetworkStats:
         self.delivered = 0
         self.dropped = 0
         self.bytes_sent = 0
+        # Fan-out fast-path counters (surfaced by repro.perf).  Deliberately
+        # not part of snapshot(): report JSON must stay byte-stable across
+        # the batched and sequential send paths.
+        self.fanout_batches = 0
+        self.fanout_messages = 0
         # Per-channel counts and per-kind [count, bytes] pairs; one dict
         # lookup per send instead of three Counter updates.  Exposed as
         # Counters through the by_channel/by_kind/by_kind_bytes properties.
@@ -459,7 +537,14 @@ class NetworkStats:
         names, overhead = template
         total = overhead
         for name in names:
-            total += self._repr_len(getattr(payload, name))
+            value = getattr(payload, name)
+            tv = type(value)
+            if tv is int or tv is str or tv is tuple or tv is float:
+                # C-repr'd leaf: a recursive call would land on the opaque
+                # branch and compute exactly this.
+                total += len(repr(value))
+            else:
+                total += self._repr_len(value)
         return total
 
     def _learn_template(self, tp: type, payload: Any) -> Any:
@@ -560,15 +645,26 @@ class Network:
         self.datagram_delay = datagram_delay or self.delay
         # Bound sample methods: one attribute hop per send instead of two.
         # Delay models are frozen dataclasses and never swapped after
-        # construction, so binding once is safe.
+        # construction, so binding once is safe.  sample_many is optional on
+        # the DelayModel protocol; None routes send_batch through n
+        # sequential sample() calls (identical draws either way).
         self._delay_sample = self.delay.sample
         self._datagram_sample = self.datagram_delay.sample
+        self._delay_sample_many = getattr(self.delay, "sample_many", None)
+        self._datagram_sample_many = getattr(self.datagram_delay, "sample_many", None)
         self.datagram_loss = datagram_loss
         self.fifo_epsilon = fifo_epsilon
         self.capacity = capacity
         self.stats = NetworkStats()
         self._nodes: dict[int, Any] = {}
         self._pids_sorted: tuple[int, ...] = ()
+        # Bound ``deliver_from`` methods, resolved once at registration:
+        # pid -> method (None for duck-typed receivers that only implement
+        # ``deliver(envelope)``), plus a tuple aligned with _pids_sorted so
+        # broadcasts resolve the whole fan-out with one equality check.
+        # The tuple is left empty when any receiver lacks the fast path.
+        self._deliver_fast: dict[int, Any] = {}
+        self._fast_sorted: tuple[Any, ...] = ()
         # src -> {dst -> last arrival time} (per-link FIFO floors).
         self._last_arrival: dict[int, dict[int, float]] = {}
         self._uplink_busy: dict[int, float] = {}
@@ -584,10 +680,21 @@ class Network:
     # ------------------------------------------------------------- membership
 
     def register(self, pid: int, node: Any) -> None:
+        """Attach ``node`` as the receiver for ``pid``.
+
+        Receivers exposing ``deliver_from(src, payload)`` get arrivals
+        dispatched to it directly (no :class:`Envelope`) and own the
+        ``delivered`` stats increment, as :class:`~repro.sim.node.Node`
+        does; receivers with only ``deliver(envelope)`` take the envelope
+        path and are counted by the network.
+        """
         if pid in self._nodes:
             raise ConfigurationError(f"node {pid} registered twice")
         self._nodes[pid] = node
+        self._deliver_fast[pid] = getattr(node, "deliver_from", None)
         self._pids_sorted = tuple(sorted(self._nodes))
+        fast = tuple(self._deliver_fast[p] for p in self._pids_sorted)
+        self._fast_sorted = fast if None not in fast else ()
 
     @property
     def pids(self) -> tuple[int, ...]:
@@ -641,7 +748,9 @@ class Network:
         sim = self.sim
         stats = self.stats
         now = sim._now
-        envelope = Envelope(src, dst, payload, channel, now)
+        # The envelope is only materialised for observers (filters, obs
+        # tracing); the plain path delivers bare (src, payload).
+        envelope = None
         # NetworkStats.record_sent(envelope), inlined minus the frame: this
         # is the single hottest call in a sweep.  Mirrors record_sent — keep
         # the two in sync (the accounting-exactness tests compare both
@@ -699,6 +808,7 @@ class Network:
 
         extra = 0.0
         if self._filters:
+            envelope = Envelope(src, dst, payload, channel, now)
             for fn in self._filters:
                 verdict = fn(envelope)
                 if verdict is False or verdict is None:
@@ -712,7 +822,8 @@ class Network:
         departure = now
         capacity = self.capacity
         if capacity is not None:
-            frame = capacity.frame_time * envelope.size
+            # size is 1 unless a filter rewrote it on the envelope.
+            frame = capacity.frame_time if envelope is None else capacity.frame_time * envelope.size
             if capacity.mode == "shared":
                 start = departure
                 busy = self._medium_busy
@@ -742,7 +853,7 @@ class Network:
 
         # Receiver-side serialisation on the switch downlink port.
         if capacity is not None and capacity.mode == "switched":
-            frame = capacity.frame_time * envelope.size
+            frame = capacity.frame_time if envelope is None else capacity.frame_time * envelope.size
             busy = self._downlink_busy.get(dst, 0.0)
             if busy > arrival:
                 arrival = busy
@@ -761,28 +872,240 @@ class Network:
             per_src[dst] = arrival
 
         # The destination object is resolved here (nodes are never
-        # unregistered), so the arrival event dispatches straight to it.
+        # unregistered), so the arrival event dispatches straight to it:
+        # bare (src, payload) to Node.deliver_from on the plain path, the
+        # full envelope through _deliver_to when an observer needs it (obs
+        # tracing; filters, whose mutations must reach the receiver).
         # Inlined sim.schedule_call_at: same `now + (arrival - now)` float
         # arithmetic (timestamp bits must not change), minus one frame per
         # message.  arrival >= now always holds on this path, so the
         # negative-delay guard reduces to a fallback branch.
+        fn = None
+        if envelope is None and self.obs_tracer is None:
+            fn = self._deliver_fast.get(dst)
+        if fn is not None:
+            args = (src, payload)
+        else:
+            if envelope is None:
+                envelope = Envelope(src, dst, payload, channel, now)
+            fn = self._deliver_to
+            args = (node, envelope)
         delay = arrival - now
         if delay >= 0.0:
             seq = sim._seq
             sim._seq = seq + 1
-            heappush(
-                sim._queue, (now + delay, seq, self._deliver_to, (node, envelope), None)
-            )
+            heappush(sim._queue, (now + delay, seq, fn, args, None))
         else:
-            sim.schedule_call_at(arrival, self._deliver_to, (node, envelope))
+            sim.schedule_call_at(arrival, fn, args)
+
+    def send_batch(
+        self, src: int, dsts: "tuple[int, ...] | list[int]", payload: Any,
+        channel: str = RELIABLE,
+    ) -> None:
+        """Transmit ``payload`` from ``src`` to each pid in ``dsts``, in order.
+
+        Byte-for-byte equivalent to ``for dst in dsts: self.send(src, dst,
+        payload, channel)`` — same RNG draws in the same order, same float
+        arithmetic, same heap entries — but with the per-message constant
+        work hoisted out of the loop: the payload is sized once and its
+        counters bulk-incremented, delays come from one
+        :meth:`DelayModel.sample_many` call, the sender-side busy time is
+        chained through a local, and arrivals are pushed as bare heap
+        entries with :meth:`Simulator.schedule_calls_at`'s bulk arithmetic
+        inlined.  Any feature that interleaves
+        per message (partitions, filters, obs tracing, lossy datagrams —
+        whose loss draw precedes each delay draw) falls back to the
+        sequential path to keep the RNG stream identical.
+        """
+        n = len(dsts)
+        if n == 0:
+            return
+        sim = self.sim
+        if (
+            n == 1
+            or self._partitions
+            or self._filters
+            or self.obs_tracer is not None
+            or (channel == DATAGRAM and self.datagram_loss)
+            or not sim.batch
+        ):
+            # not sim.batch: one spec-level flag disables both halves of the
+            # batched execution path (kernel cohorts and network fan-out), so
+            # REPRO_KERNEL_BATCH=0 bisects against fully sequential behaviour.
+            send = self.send
+            for dst in dsts:
+                send(src, dst, payload, channel)
+            return
+        if channel == RELIABLE:
+            sample_many = self._delay_sample_many
+            sample = self._delay_sample
+            reliable = True
+        elif channel == DATAGRAM:
+            sample_many = self._datagram_sample_many
+            sample = self._datagram_sample
+            reliable = False
+        else:
+            raise ConfigurationError(f"unknown channel {channel!r}")
+        if self._fast_sorted and dsts == self._pids_sorted:
+            # Broadcast to the full sorted group (env.peers tuples compare
+            # equal even when not the cached object): pre-bound methods.
+            resolved = self._fast_sorted
+        else:
+            deliver_fast = self._deliver_fast
+            resolved = []
+            append_fn = resolved.append
+            for dst in dsts:
+                fn = deliver_fast.get(dst)
+                if fn is None:
+                    if dst not in self._nodes:
+                        raise ConfigurationError(f"unknown destination pid {dst}")
+                    # Duck-typed receiver without deliver_from: sequential
+                    # sends keep its envelope-only contract intact.
+                    send = self.send
+                    for d in dsts:
+                        send(src, d, payload, channel)
+                    return
+                append_fn(fn)
+
+        stats = self.stats
+        now = sim._now
+        # Payload accounting, once per batch: every destination carries the
+        # same payload object, so kind and size are computed once and the
+        # counters bulk-incremented.  Mirrors the send() inline of
+        # NetworkStats.record_sent — keep the three in sync.
+        if payload is stats._last_payload and payload is not None:
+            kind = stats._last_kind
+            size = stats._last_size
+        else:
+            if type(payload) is Scoped:
+                scope = payload.scope
+                cached = stats._scope_overhead.get(id(scope))
+                if cached is not None and cached[0] is scope:
+                    overhead = cached[1]
+                else:
+                    overhead = len(repr(Scoped(scope, None))) - _NONE_REPR_LEN
+                    memo = stats._scope_overhead
+                    memo[id(scope)] = (scope, overhead)
+                    if len(memo) > STATS_MEMO_CAP:
+                        del memo[next(iter(memo))]
+                inner = payload.inner
+                if inner is stats._last_sent_inner and inner is not None:
+                    kind = stats._last_sent_inner_kind
+                    inner_len = stats._last_sent_inner_len
+                else:
+                    kind = stats._kind_of(inner)
+                    inner_len = stats._repr_len(inner)
+                    stats._last_sent_inner = inner
+                    stats._last_sent_inner_kind = kind
+                    stats._last_sent_inner_len = inner_len
+                size = HEADER_BYTES + overhead + inner_len
+            else:
+                kind = stats._kind_of(payload)
+                size = HEADER_BYTES + stats._repr_len(payload)
+            stats._last_payload = payload
+            stats._last_kind = kind
+            stats._last_size = size
+        stats.sent += n
+        stats.bytes_sent += size * n
+        channels = stats._channel_counts
+        channels[channel] = channels.get(channel, 0) + n
+        kind_stats = stats._kind_stats.get(kind)
+        if kind_stats is None:
+            kind_stats = stats._kind_stats[kind] = [0, 0]
+        kind_stats[0] += n
+        kind_stats[1] += size * n
+        stats.fanout_batches += 1
+        stats.fanout_messages += n
+
+        rng = self._rng
+        if sample_many is not None:
+            delays = sample_many(rng, n)
+        else:
+            delays = [sample(rng) for _ in range(n)]
+
+        # Capacity: the sender-side busy time (uplink or shared medium)
+        # chains through every message of the batch, so it lives in a local
+        # and is written back once.  Downlinks are per destination.
+        capacity = self.capacity
+        switched = False
+        frame = 0.0
+        busy = 0.0
+        downlink = None
+        if capacity is not None:
+            frame = capacity.frame_time  # fresh envelopes have size == 1
+            if capacity.mode == "shared":
+                busy = self._medium_busy
+            else:
+                switched = True
+                busy = self._uplink_busy.get(src, 0.0)
+                downlink = self._downlink_busy
+        if reliable:
+            per_src = self._last_arrival.get(src)
+            if per_src is None:
+                per_src = self._last_arrival[src] = {}
+            floor_get = per_src.get
+            fifo_epsilon = self.fifo_epsilon
+        neg_inf = -math.inf
+
+        # Arrival events are pushed inline with the loop constants (queue,
+        # seq counter) hoisted — the bulk-entry arithmetic of
+        # Simulator.schedule_calls_at minus the intermediate call list.  The
+        # timestamp expression (``now + delay``) and the negative-delay
+        # fallback are exactly send()'s, so heap entries are bit-identical.
+        # This path runs only when no observer needs the full envelope (the
+        # obs/filter gate above fell back to send()), so arrivals dispatch
+        # straight to Node.deliver_from with one shared (src, payload) tuple
+        # — no Envelope allocation and no per-destination args tuple.
+        queue = sim._queue
+        push = heappush
+        args = (src, payload)
+        seq = sim._seq
+        try:
+            for dst, dst_delay, deliver in zip(dsts, delays, resolved):
+                departure = now
+                if capacity is not None:
+                    if busy > departure:
+                        departure = busy
+                    busy = departure + frame
+                    departure = busy
+                arrival = departure + dst_delay
+                if switched:
+                    dbusy = downlink.get(dst, 0.0)
+                    if dbusy > arrival:
+                        arrival = dbusy
+                    arrival += frame
+                    downlink[dst] = arrival
+                if reliable:
+                    floor = floor_get(dst, neg_inf) + fifo_epsilon
+                    if floor > arrival:
+                        arrival = floor
+                    per_src[dst] = arrival
+                delay = arrival - now
+                if delay >= 0.0:
+                    push(queue, (now + delay, seq, deliver, args, None))
+                    seq += 1
+                else:
+                    sim._seq = seq
+                    sim.schedule_call_at(arrival, deliver, args)
+                    seq = sim._seq
+        finally:
+            sim._seq = seq
+        if capacity is not None:
+            if switched:
+                self._uplink_busy[src] = busy
+            else:
+                self._medium_busy = busy
 
     def broadcast(self, src: int, payload: Any, channel: str = RELIABLE) -> None:
         """Send ``payload`` from ``src`` to every registered node (incl. src)."""
-        for dst in self._pids_sorted:
-            self.send(src, dst, payload, channel)
+        self.send_batch(src, self._pids_sorted, payload, channel)
 
     def _deliver_to(self, node: Any, envelope: Envelope) -> None:
-        self.stats.delivered += 1
+        # Delivered accounting lives in Node.deliver_from (shared with the
+        # envelope-free fast path); duck-typed receivers without it are
+        # counted here instead.
+        if not hasattr(node, "deliver_from"):
+            self.stats.delivered += 1
         if self.obs_tracer is not None:
             self.obs_tracer.emit(
                 self.sim._now,

@@ -50,15 +50,27 @@ class Environment(abc.ABC):
     def datagram(self, dst: int, msg: Any) -> None:
         """Send ``msg`` to ``dst`` over the unordered datagram channel."""
 
+    def send_many(self, dsts: tuple[int, ...], msg: Any) -> None:
+        """Send ``msg`` to each pid in ``dsts``, in order (reliable channel).
+
+        Equivalent to looping :meth:`send`; environments backed by the
+        simulated network override it to reach the fan-out fast path.
+        """
+        for dst in dsts:
+            self.send(dst, msg)
+
+    def datagram_many(self, dsts: tuple[int, ...], msg: Any) -> None:
+        """Send ``msg`` to each pid in ``dsts``, in order (datagram channel)."""
+        for dst in dsts:
+            self.datagram(dst, msg)
+
     def broadcast(self, msg: Any) -> None:
         """Send ``msg`` to every process, including the sender itself."""
-        for dst in self.peers:
-            self.send(dst, msg)
+        self.send_many(self.peers, msg)
 
     def datagram_broadcast(self, msg: Any) -> None:
         """Broadcast over the datagram channel (used by the WAB oracle)."""
-        for dst in self.peers:
-            self.datagram(dst, msg)
+        self.datagram_many(self.peers, msg)
 
     @abc.abstractmethod
     def now(self) -> float:
@@ -127,22 +139,16 @@ class ScopedEnvironment(Environment):
     def datagram(self, dst: int, msg: Any) -> None:
         self._host.datagram(dst, Scoped(self._scope, msg))
 
-    def broadcast(self, msg: Any) -> None:
+    def send_many(self, dsts: tuple[int, ...], msg: Any) -> None:
         # Wrap once and share the frozen envelope across all destinations:
-        # the network's byte accounting then pays one repr per broadcast
+        # the network's byte accounting then pays one repr per fan-out
         # instead of n, and per-send allocation drops.  Receivers treat
         # messages as immutable values, so sharing is observationally
         # identical to wrapping per destination.
-        wrapped = Scoped(self._scope, msg)
-        host = self._host
-        for dst in self.peers:
-            host.send(dst, wrapped)
+        self._host.send_many(dsts, Scoped(self._scope, msg))
 
-    def datagram_broadcast(self, msg: Any) -> None:
-        wrapped = Scoped(self._scope, msg)
-        host = self._host
-        for dst in self.peers:
-            host.datagram(dst, wrapped)
+    def datagram_many(self, dsts: tuple[int, ...], msg: Any) -> None:
+        self._host.datagram_many(dsts, Scoped(self._scope, msg))
 
     def now(self) -> float:
         return self._host.now()

@@ -1,0 +1,287 @@
+"""Batched execution equivalence: cohort drain, fan-out, delay sampling.
+
+The batched run loop (`Simulator.run` with ``batch=True``, the default) and
+the network's ``send_batch`` fast path are pure performance features: every
+test here pins the contract that they are *observationally identical* to the
+serial one-event-at-a-time kernel and to sequential ``send()`` loops — same
+trace bytes, same RNG stream, same counters, same heap timestamps.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+from repro.sim.network import (
+    DATAGRAM,
+    ConstantDelay,
+    LanDelay,
+    Network,
+    UniformDelay,
+)
+
+SEEDS = range(10)
+
+
+def _random_workload(sim: Simulator, seed: int, stop_tag: int | None = None):
+    """Build a randomized self-extending schedule; returns the trace list.
+
+    Three same-timestamp cohorts of 90 events each put the queue well past
+    the batching threshold; handlers schedule follow-ups (including
+    same-time events, which exercise the mid-cohort merge guard) and cancel
+    random pending events (cancelled-entry skipping inside a gathered
+    cohort).  All randomness comes from a private ``random.Random(seed)``
+    whose draw order is itself part of the equivalence check.
+    """
+    rng = random.Random(seed)
+    trace: list = []
+    events: list = []
+
+    def handler(tag: int) -> None:
+        # events_processed is deliberately NOT sampled here: both run loops
+        # accumulate it in a local and flush at the end of the drain, so it
+        # is only comparable across drains once run()/step() returns.
+        trace.append((sim.now, tag, sim.pending()))
+        if stop_tag is not None and tag == stop_tag:
+            sim.stop()
+            return
+        roll = rng.random()
+        if roll < 0.45:
+            delay = rng.choice((0.0, 0.25, 1.0, rng.random()))
+            events.append(sim.schedule(delay, handler, tag + 1000))
+        if roll < 0.2 and events:
+            events[rng.randrange(len(events))].cancel()
+
+    for i in range(270):
+        events.append(sim.schedule(1.0 + (i % 3), handler, i))
+    for i in range(0, 270, 7):  # pre-cancelled entries inside the cohorts
+        events[i].cancel()
+    return trace
+
+
+class TestBatchedVsStepEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_batched_run_matches_step_drain(self, seed):
+        batched = Simulator(seed=0, batch=True)
+        trace_batched = _random_workload(batched, seed)
+        batched.run()
+
+        stepped = Simulator(seed=0, batch=True)
+        trace_stepped = _random_workload(stepped, seed)
+        while stepped.step():
+            pass
+
+        # Byte-identical traces (repr compares float bits exactly) and
+        # identical kernel counters.
+        assert repr(trace_batched) == repr(trace_stepped)
+        assert batched.events_processed == stepped.events_processed
+        assert batched.now == stepped.now
+        assert batched.pending() == stepped.pending() == 0
+        # The workload is deep enough that the batched path actually batched.
+        assert batched.drain_batches > 0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_batched_run_matches_serial_run(self, seed):
+        batched = Simulator(seed=0, batch=True)
+        trace_batched = _random_workload(batched, seed)
+        batched.run()
+
+        serial = Simulator(seed=0, batch=False)
+        trace_serial = _random_workload(serial, seed)
+        serial.run()
+
+        assert repr(trace_batched) == repr(trace_serial)
+        assert batched.events_processed == serial.events_processed
+        assert serial.drain_batches == 0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_mid_cohort_stop_then_resume(self, seed):
+        # stop() from a handler in the middle of a gathered cohort must
+        # leave exactly the serial kernel's state, and resuming must finish
+        # the drain identically.
+        stop_tag = 130  # inside the first 1.0-timestamp cohort
+        batched = Simulator(seed=0, batch=True)
+        trace_batched = _random_workload(batched, seed, stop_tag=stop_tag)
+        batched.run()
+        serial = Simulator(seed=0, batch=False)
+        trace_serial = _random_workload(serial, seed, stop_tag=stop_tag)
+        serial.run()
+
+        assert repr(trace_batched) == repr(trace_serial)
+        assert batched.events_processed == serial.events_processed
+        assert batched.now == serial.now
+        assert batched.pending() == serial.pending()
+
+        batched.run()
+        serial.run()
+        assert repr(trace_batched) == repr(trace_serial)
+        assert batched.events_processed == serial.events_processed
+        assert batched.pending() == serial.pending() == 0
+
+
+class TestStepCorruptionCheck:
+    def test_step_rejects_past_event(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.now == 2.0
+        # Corrupt the queue behind the kernel's back: an entry in the past.
+        sim._queue.append((1.0, sim._seq, lambda: None, (), None))
+        with pytest.raises(SimulationError, match="corrupted"):
+            sim.step()
+
+    def test_run_rejects_past_event_on_batched_path(self):
+        sim = Simulator(batch=True)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        sim._queue.append((1.0, sim._seq, lambda: None, (), None))
+        with pytest.raises(SimulationError, match="corrupted"):
+            sim.run()
+
+
+class TestEventRepr:
+    def test_three_states(self):
+        sim = Simulator()
+        pending = sim.schedule(1.0, lambda: None)
+        assert "pending" in repr(pending)
+        cancelled = sim.schedule(1.0, lambda: None)
+        cancelled.cancel()
+        assert "cancelled" in repr(cancelled)
+        sim.run()
+        assert "done" in repr(pending)
+        # cancel() after firing is a documented no-op and must not relabel
+        # the fired event.
+        pending.cancel()
+        assert "done" in repr(pending)
+
+
+class TestSampleManyRngParity:
+    """sample_many(rng, n) must consume the rng exactly like n sample()s."""
+
+    MODELS = [
+        ConstantDelay(1e-3),
+        UniformDelay(1e-3, 5e-3),
+        LanDelay(base=4e-4, jitter_mean=4e-5, jitter_sigma=0.8),
+        LanDelay(base=3e-4, jitter_mean=1.5e-4, jitter_sigma=1.7),
+    ]
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+    @pytest.mark.parametrize("n", [1, 2, 7, 64])
+    def test_same_values_and_stream_position(self, model, n):
+        rng_seq = random.Random(42)
+        sequential = [model.sample(rng_seq) for _ in range(n)]
+
+        rng_vec = random.Random(42)
+        vectorized = model.sample_many(rng_vec, n)
+
+        assert list(vectorized) == sequential  # exact float equality
+        # The rng must be left at the identical stream position.
+        assert rng_seq.random() == rng_vec.random()
+
+
+class _Recorder:
+    """Minimal node honouring the fast-path contract: a receiver exposing
+    ``deliver_from`` owns delivered accounting (as ``Node`` does)."""
+
+    def __init__(self, net: Network):
+        self.net = net
+        self.received: list = []
+
+    def deliver_from(self, src, payload):
+        self.net.stats.delivered += 1
+        self.received.append((src, payload))
+
+    def deliver(self, envelope):
+        self.deliver_from(envelope.src, envelope.payload)
+
+
+def _fanout_run(batch: bool, channel: str = "reliable", n_dsts: int = 4):
+    sim = Simulator(seed=5, batch=batch)
+    net = Network(
+        sim,
+        delay=LanDelay(base=4e-4, jitter_mean=4e-5, jitter_sigma=0.8),
+        datagram_delay=UniformDelay(1e-4, 9e-4),
+    )
+    sinks = {pid: _Recorder(net) for pid in range(n_dsts)}
+    for pid, sink in sinks.items():
+        net.register(pid, sink)
+    dsts = net.pids
+    if batch:
+        for i in range(40):
+            net.send_batch(i % n_dsts, dsts, ("payload", i), channel=channel)
+    else:
+        for i in range(40):
+            for dst in dsts:
+                net.send(i % n_dsts, dst, ("payload", i), channel=channel)
+    sim.run()
+    heap_now = sim.now
+    return (
+        {pid: sink.received for pid, sink in sinks.items()},
+        net.stats.snapshot(),
+        heap_now,
+    )
+
+
+class TestSendBatchEquivalence:
+    @pytest.mark.parametrize("channel", ["reliable", DATAGRAM])
+    def test_batch_matches_sequential_sends(self, channel):
+        received_batch, stats_batch, now_batch = _fanout_run(True, channel)
+        received_seq, stats_seq, now_seq = _fanout_run(False, channel)
+        assert repr(received_batch) == repr(received_seq)
+        assert now_batch == now_seq
+        # Fan-out counters are the only permitted difference.
+        for key in ("fanout_batches", "fanout_messages"):
+            stats_batch.pop(key, None)
+            stats_seq.pop(key, None)
+        assert stats_batch == stats_seq
+
+    def test_batch_disabled_by_spec_flag(self):
+        # batch=False on the Simulator must force send_batch onto the
+        # sequential path: the fan-out counters stay untouched.
+        sim = Simulator(seed=1, batch=False)
+        net = Network(sim, delay=ConstantDelay(1e-3))
+        sinks = {pid: _Recorder(net) for pid in range(3)}
+        for pid, sink in sinks.items():
+            net.register(pid, sink)
+        net.send_batch(0, net.pids, "x")
+        sim.run()
+        assert net.stats.fanout_batches == 0
+        assert sum(len(s.received) for s in sinks.values()) == 3
+
+    def test_broadcast_resolution_accepts_equal_tuple(self):
+        # env.peers hands send_batch a *fresh* tuple equal to the sorted
+        # registry; the pre-bound broadcast fast path must still engage.
+        sim = Simulator(seed=2, batch=True)
+        net = Network(sim, delay=ConstantDelay(1e-3))
+        sinks = {pid: _Recorder(net) for pid in range(4)}
+        for pid, sink in sinks.items():
+            net.register(pid, sink)
+        fresh = tuple(sorted(sinks))
+        assert fresh is not net.pids
+        net.send_batch(1, fresh, "hello")
+        sim.run()
+        assert net.stats.fanout_batches == 1
+        assert all(sink.received == [(1, "hello")] for sink in sinks.values())
+
+    def test_duck_typed_receiver_falls_back(self):
+        # A registered object without deliver_from (envelope-only contract)
+        # must still receive messages and be counted as delivered.
+        class EnvelopeOnly:
+            def __init__(self):
+                self.envelopes = []
+
+            def deliver(self, envelope):
+                self.envelopes.append(envelope)
+
+        sim = Simulator(seed=3, batch=True)
+        net = Network(sim, delay=ConstantDelay(1e-3))
+        plain = EnvelopeOnly()
+        fast = _Recorder(net)
+        net.register(0, plain)
+        net.register(1, fast)
+        net.send_batch(0, net.pids, "msg")
+        sim.run()
+        assert [e.payload for e in plain.envelopes] == ["msg"]
+        assert fast.received == [(0, "msg")]
+        assert net.stats.delivered == 2
