@@ -91,6 +91,19 @@ _EXPORTS = {
     "RunReport": "repro.engine",
     "run_sweep": "repro.engine",
     "sweep_grid": "repro.engine",
+    # nemesis fault schedules + fuzzer
+    "NemesisSpec": "repro.nemesis",
+    "PartitionOp": "repro.nemesis",
+    "CrashOp": "repro.nemesis",
+    "DropOp": "repro.nemesis",
+    "DelayOp": "repro.nemesis",
+    "DupOp": "repro.nemesis",
+    "FdFlapOp": "repro.nemesis",
+    "CpuSkewOp": "repro.nemesis",
+    "fuzz_schedules": "repro.nemesis",
+    "shrink_schedule": "repro.nemesis",
+    "save_repro": "repro.nemesis",
+    "replay_repro": "repro.nemesis",
     # rsm service layer
     "Command": "repro.rsm",
     "KvStore": "repro.rsm",
@@ -181,6 +194,20 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         export_chrome,
         export_jsonl,
         load_trace,
+    )
+    from repro.nemesis import (
+        CpuSkewOp,
+        CrashOp,
+        DelayOp,
+        DropOp,
+        DupOp,
+        FdFlapOp,
+        NemesisSpec,
+        PartitionOp,
+        fuzz_schedules,
+        replay_repro,
+        save_repro,
+        shrink_schedule,
     )
     from repro.oracles import WabOracle
     from repro.perf import PerfReport, profile_call

@@ -306,6 +306,50 @@ def build_parser() -> argparse.ArgumentParser:
     t_diff.add_argument("left")
     t_diff.add_argument("right")
 
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="coverage-guided fault-schedule fuzzing (repro.nemesis)",
+        description=(
+            "Search random nemesis schedules for checker violations against "
+            "one protocol; findings are delta-debugged to a minimal schedule "
+            "and can be saved as a replayable JSON repro.  Exit status: 0 = "
+            "no violation found, 1 = violation found, 2 = replay mismatch."
+        ),
+    )
+    p_fuzz.add_argument(
+        "--kind", choices=("consensus", "abcast", "rsm"), default="consensus"
+    )
+    p_fuzz.add_argument(
+        "--protocol", default=None, help="registry name (default per kind)"
+    )
+    p_fuzz.add_argument("--n", type=int, default=4)
+    p_fuzz.add_argument("--seed", type=int, default=0, help="fuzz campaign seed")
+    p_fuzz.add_argument("--budget", type=int, default=32, help="trial runs")
+    p_fuzz.add_argument("--max-ops", type=int, default=8, help="ops per schedule")
+    p_fuzz.add_argument(
+        "--ops",
+        default=None,
+        metavar="A,B,...",
+        help="op kinds to generate (default: the in-model set; 'all' adds dup)",
+    )
+    p_fuzz.add_argument("--window", type=float, default=None, help="injection window (s)")
+    p_fuzz.add_argument("--max-findings", type=int, default=1)
+    p_fuzz.add_argument(
+        "--detection-delay", type=float, default=1e-3, help="consensus-kind FD lag"
+    )
+    p_fuzz.add_argument(
+        "--termination-as-violation",
+        action="store_true",
+        help="count stalls (TerminationFailure) as findings, not just safety",
+    )
+    p_fuzz.add_argument("--no-shrink", action="store_true")
+    p_fuzz.add_argument(
+        "--save", metavar="PATH", default=None, help="write first finding's repro JSON"
+    )
+    p_fuzz.add_argument(
+        "--replay", metavar="PATH", default=None, help="replay a repro JSON instead"
+    )
+
     sub.add_parser(
         "protocols", help="list the protocol registry (name, kind, n, description)"
     )
@@ -913,6 +957,107 @@ def _cmd_theorem1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fuzz_base_spec(args: argparse.Namespace):
+    """The fault-free base spec a fuzz campaign mutates around."""
+    from repro.engine import RsmRunSpec
+    from repro.sim.network import UniformDelay
+
+    if args.kind == "consensus":
+        return ConsensusRunSpec(
+            protocol=args.protocol or "p-consensus",
+            proposals=tuple(f"v{pid}" for pid in range(args.n)),
+            seed=0,
+            cluster=ClusterSpec(
+                delay=UniformDelay(1e-4, 3e-3),
+                detection_delay=args.detection_delay,
+            ),
+            horizon=5.0,
+        )
+    if args.kind == "abcast":
+        return AbcastRunSpec(
+            protocol=args.protocol or "cabcast-p",
+            rate=100.0,
+            duration=0.3,
+            n=args.n,
+            seed=0,
+        )
+    return RsmRunSpec(
+        protocol=args.protocol or "cabcast-l",
+        rate=120.0,
+        duration=0.3,
+        n=args.n,
+        clients=4,
+        seed=0,
+    )
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.nemesis.fuzz import (
+        DEFAULT_OPS,
+        FULL_OPS,
+        fuzz_schedules,
+        replay_repro,
+        save_repro,
+    )
+
+    if args.replay:
+        from repro.errors import ReproError
+
+        try:
+            err = replay_repro(args.replay)
+        except ReproError as mismatch:
+            print(f"replay FAILED: {mismatch}")
+            return 2
+        print(f"reproduced {type(err).__name__}: {err}")
+        return 0
+
+    if args.ops is None:
+        include = DEFAULT_OPS
+    elif args.ops == "all":
+        include = FULL_OPS
+    else:
+        include = tuple(args.ops.split(","))
+    spec = _fuzz_base_spec(args)
+
+    def progress(trials: int, findings: int, coverage: int) -> None:
+        print(
+            f"\r[{trials}/{args.budget}] findings={findings} coverage={coverage}",
+            end="",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    result = fuzz_schedules(
+        spec,
+        budget=args.budget,
+        seed=args.seed,
+        max_ops=args.max_ops,
+        window=args.window,
+        include=include,
+        shrink=not args.no_shrink,
+        max_findings=args.max_findings,
+        treat_termination_as_violation=args.termination_as_violation,
+        progress=progress,
+    )
+    print(file=sys.stderr)
+    print(
+        f"trials={result.trials} violations={result.violations} "
+        f"terminations={result.terminations} coverage={len(result.coverage)}"
+    )
+    for finding in result.findings:
+        print(
+            f"finding: {finding.error_type} (trial {finding.trial_index}, "
+            f"{len(finding.schedule)} ops shrunk to {len(finding.shrunk)})"
+        )
+        print(f"  {finding.shrunk_error_message}")
+        for op in finding.shrunk.ops:
+            print(f"  op: {op.to_dict()}")
+    if result.findings and args.save:
+        path = save_repro(result.findings[0], args.save)
+        print(f"repro written to {path}")
+    return 1 if result.findings else 0
+
+
 _COMMANDS = {
     "consensus": _cmd_consensus,
     "abcast": _cmd_abcast,
@@ -920,6 +1065,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "profile": _cmd_profile,
     "trace": _cmd_trace,
+    "fuzz": _cmd_fuzz,
     "protocols": _cmd_protocols,
     "table1": _cmd_table1,
     "theorem1": _cmd_theorem1,

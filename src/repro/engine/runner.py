@@ -90,6 +90,7 @@ def run_abcast_spec(
         max_events=spec.max_events,
         capacity=cluster.capacity,
         batch=spec.batch,
+        nemesis=spec.nemesis,
         ctx=ctx,
     )
 
@@ -120,6 +121,7 @@ def run_consensus_spec(
         require_all_alive_decide=spec.require_all_alive_decide,
         service_time=cluster.service_time,
         batch=spec.batch,
+        nemesis=spec.nemesis,
         ctx=ctx,
     )
 

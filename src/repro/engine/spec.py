@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import ConfigurationError
+from repro.nemesis.spec import NemesisSpec
 from repro.sim.network import (
     ConstantDelay,
     DelayModel,
@@ -275,6 +276,24 @@ def _append_batch(spec: Any, body: dict) -> dict:
     return body
 
 
+def _append_nemesis(spec: Any, body: dict) -> dict:
+    """Serialize the nemesis schedule only when one is attached (non-empty).
+
+    A spec without faults keeps its exact pre-nemesis dict form, cache key
+    and report JSON — the ``nemesis`` key simply never appears.
+    """
+    if spec.nemesis:
+        body["nemesis"] = spec.nemesis.to_dict()
+    return body
+
+
+def _decode_nemesis(data: dict) -> NemesisSpec | None:
+    raw = data.get("nemesis")
+    if not raw or not raw.get("ops"):
+        return None
+    return NemesisSpec.from_dict(raw)
+
+
 def _hash_payload(kind: str, body: dict) -> str:
     canonical = json.dumps(
         {"version": SPEC_VERSION, "kind": kind, **body},
@@ -316,6 +335,9 @@ class AbcastRunSpec:
     #: Kernel/network batched execution (False = serial loops; results are
     #: byte-identical either way, this is an A/B debugging escape hatch).
     batch: bool = True
+    #: Optional fault schedule (see :mod:`repro.nemesis`); serialized only
+    #: when non-empty, so fault-free specs keep their exact cache keys.
+    nemesis: NemesisSpec | None = None
 
     def __post_init__(self) -> None:
         if self.rate <= 0 or self.duration <= 0:
@@ -345,7 +367,7 @@ class AbcastRunSpec:
             "require_all_delivered": self.require_all_delivered,
             "max_events": self.max_events,
         }
-        return _append_batch(self, _append_obs(self, body))
+        return _append_nemesis(self, _append_batch(self, _append_obs(self, body)))
 
     @classmethod
     def from_dict(cls, data: dict) -> "AbcastRunSpec":
@@ -367,6 +389,7 @@ class AbcastRunSpec:
             obs_metrics_interval=data.get("obs_metrics_interval", 0.0),
             obs_flight_recorder=data.get("obs_flight_recorder", 0),
             batch=data.get("batch", True),
+            nemesis=_decode_nemesis(data),
         )
 
     def cache_key(self) -> str:
@@ -393,6 +416,7 @@ class ConsensusRunSpec:
     obs_metrics_interval: float = 0.0
     obs_flight_recorder: int = 0
     batch: bool = True
+    nemesis: NemesisSpec | None = None
 
     def __post_init__(self) -> None:
         if len(self.proposals) < 2:
@@ -416,7 +440,7 @@ class ConsensusRunSpec:
             "check": self.check,
             "require_all_alive_decide": self.require_all_alive_decide,
         }
-        return _append_batch(self, _append_obs(self, body))
+        return _append_nemesis(self, _append_batch(self, _append_obs(self, body)))
 
     @classmethod
     def from_dict(cls, data: dict) -> "ConsensusRunSpec":
@@ -434,6 +458,7 @@ class ConsensusRunSpec:
             obs_metrics_interval=data.get("obs_metrics_interval", 0.0),
             obs_flight_recorder=data.get("obs_flight_recorder", 0),
             batch=data.get("batch", True),
+            nemesis=_decode_nemesis(data),
         )
 
     def cache_key(self) -> str:
@@ -494,6 +519,7 @@ class RsmRunSpec:
     #: Kernel-level batched execution (unrelated to the RSM's command
     #: batching knobs ``batch_max``/``batch_delay`` above).
     batch: bool = True
+    nemesis: NemesisSpec | None = None
 
     def __post_init__(self) -> None:
         if self.rate <= 0 or self.duration <= 0:
@@ -586,7 +612,7 @@ class RsmRunSpec:
             body["txn_clients"] = self.txn_clients
             body["txn_rate"] = self.txn_rate
             body["txn_keys"] = self.txn_keys
-        return _append_batch(self, _append_obs(self, body))
+        return _append_nemesis(self, _append_batch(self, _append_obs(self, body)))
 
     @classmethod
     def from_dict(cls, data: dict) -> "RsmRunSpec":
@@ -619,6 +645,7 @@ class RsmRunSpec:
             obs_metrics_interval=data.get("obs_metrics_interval", 0.0),
             obs_flight_recorder=data.get("obs_flight_recorder", 0),
             batch=data.get("batch", True),
+            nemesis=_decode_nemesis(data),
         )
 
     def cache_key(self) -> str:

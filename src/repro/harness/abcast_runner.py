@@ -140,6 +140,7 @@ def run_abcast(
     max_events: int | None = None,
     capacity=None,
     batch: bool = True,
+    nemesis=None,
     tracer=None,
     obs=None,
     ctx=None,
@@ -214,6 +215,13 @@ def run_abcast(
             node.start()
     for pid, at in (crash_at or {}).items():
         nodes[pid].crash_at(at)
+
+    if nemesis:
+        from repro.nemesis.inject import NemesisRuntime  # local: sits above us
+
+        NemesisRuntime(
+            nemesis, sim=sim, network=network, nodes=nodes, oracle=oracle, tracer=tracer
+        ).install()
 
     sim.run(until=horizon, max_events=max_events)
 

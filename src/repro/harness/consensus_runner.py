@@ -131,6 +131,7 @@ def run_consensus(
     require_all_alive_decide: bool = True,
     service_time: float = 0.0,
     batch: bool = True,
+    nemesis=None,
     tracer=None,
     obs=None,
     ctx=None,
@@ -204,6 +205,13 @@ def run_consensus(
             node.start()
     for pid, at in (crash_at or {}).items():
         nodes[pid].crash_at(at)
+
+    if nemesis:
+        from repro.nemesis.inject import NemesisRuntime  # local: sits above us
+
+        NemesisRuntime(
+            nemesis, sim=sim, network=network, nodes=nodes, oracle=oracle, tracer=tracer
+        ).install()
 
     sim.run(until=horizon)
 

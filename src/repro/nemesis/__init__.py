@@ -1,0 +1,78 @@
+"""repro.nemesis — declarative fault schedules and a minimizing fault fuzzer.
+
+The DSL (:mod:`repro.nemesis.spec`) describes *what goes wrong* in a run as
+a frozen, content-addressed :class:`NemesisSpec` of composable ops;
+:mod:`repro.nemesis.inject` compiles a schedule into deterministic kernel
+events; :mod:`repro.nemesis.shrink` delta-debugs a failing schedule down to
+a 1-minimal repro; :mod:`repro.nemesis.fuzz` searches random schedules for
+checker violations with trace-coverage guidance (also ``repro fuzz`` on the
+CLI).  See docs/NEMESIS.md.
+
+The fuzzer symbols are loaded lazily: :mod:`repro.engine.spec` imports the
+DSL at class-definition time (run specs carry a ``nemesis`` field), while
+the fuzzer itself sits *above* the engine — eager import here would be a
+cycle.
+"""
+
+from repro.nemesis.inject import NemesisRuntime
+from repro.nemesis.shrink import ShrinkResult, shrink_schedule
+from repro.nemesis.spec import (
+    CpuSkewOp,
+    CrashOp,
+    DelayOp,
+    DropOp,
+    DupOp,
+    FdFlapOp,
+    NemesisSpec,
+    PartitionOp,
+    crash_storm,
+    op_from_dict,
+)
+
+__all__ = [
+    "NemesisSpec",
+    "PartitionOp",
+    "CrashOp",
+    "DropOp",
+    "DelayOp",
+    "DupOp",
+    "FdFlapOp",
+    "CpuSkewOp",
+    "crash_storm",
+    "op_from_dict",
+    "NemesisRuntime",
+    "shrink_schedule",
+    "ShrinkResult",
+    # lazy (see __getattr__): the fuzzer imports the engine.
+    "fuzz_schedules",
+    "FuzzResult",
+    "Finding",
+    "random_schedule",
+    "mutate_schedule",
+    "save_repro",
+    "load_repro",
+    "replay_repro",
+    "REPRO_SCHEMA",
+]
+
+_FUZZ_SYMBOLS = frozenset(
+    {
+        "fuzz_schedules",
+        "FuzzResult",
+        "Finding",
+        "random_schedule",
+        "mutate_schedule",
+        "save_repro",
+        "load_repro",
+        "replay_repro",
+        "REPRO_SCHEMA",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _FUZZ_SYMBOLS:
+        from repro.nemesis import fuzz
+
+        return getattr(fuzz, name)
+    raise AttributeError(f"module 'repro.nemesis' has no attribute {name!r}")

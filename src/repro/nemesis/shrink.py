@@ -1,0 +1,86 @@
+"""Delta-debugging minimization of failing nemesis schedules.
+
+:func:`shrink_schedule` is classic ddmin (Zeller & Hildebrandt) over the
+schedule's op tuple: repeatedly try dropping chunks of ops, keeping any
+reduced schedule on which the failure predicate still holds, until no single
+op can be removed.  Because runs are deterministic, the predicate is a pure
+function of the schedule, which makes the result *1-minimal* (removing any
+one remaining op makes the failure disappear) and the procedure idempotent:
+shrinking an already-shrunk schedule is a no-op.
+
+The predicate receives a candidate :class:`NemesisSpec` and returns True if
+the candidate still reproduces the failure (same checker exception class, in
+the fuzzer's usage).  Predicate calls are counted and can be budgeted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.nemesis.spec import NemesisSpec
+
+__all__ = ["shrink_schedule", "ShrinkResult"]
+
+
+class ShrinkResult:
+    """Outcome of one shrink: the minimized schedule plus effort counters."""
+
+    def __init__(self, schedule: NemesisSpec, tests: int, removed: int) -> None:
+        self.schedule = schedule
+        self.tests = tests
+        self.removed = removed
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"ShrinkResult(ops={len(self.schedule)}, tests={self.tests}, "
+            f"removed={self.removed})"
+        )
+
+
+def shrink_schedule(
+    schedule: NemesisSpec,
+    failing: Callable[[NemesisSpec], bool],
+    max_tests: int = 512,
+) -> ShrinkResult:
+    """ddmin the schedule down to a 1-minimal failing core.
+
+    ``failing(candidate)`` must be deterministic.  ``max_tests`` bounds the
+    number of predicate evaluations (each one is a full simulated run); on
+    exhaustion the best schedule found so far is returned, which is still a
+    valid — just maybe not minimal — repro.
+    """
+    ops = list(schedule.ops)
+    tests = 0
+
+    def holds(candidate_ops: list) -> bool:
+        nonlocal tests
+        tests += 1
+        return failing(NemesisSpec(tuple(candidate_ops)))
+
+    # The empty schedule failing means the bug needs no faults at all; the
+    # minimal repro is then "no nemesis".
+    if ops and tests < max_tests and holds([]):
+        return ShrinkResult(NemesisSpec(), tests, len(schedule))
+
+    granularity = 2
+    while len(ops) >= 2 and tests < max_tests:
+        chunk = max(1, len(ops) // granularity)
+        reduced = False
+        start = 0
+        while start < len(ops) and tests < max_tests:
+            candidate = ops[:start] + ops[start + chunk :]
+            if candidate and holds(candidate):
+                ops = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # Re-scan from the start of the shortened list.
+                start = 0
+                chunk = max(1, len(ops) // granularity)
+                continue
+            start += chunk
+        if not reduced:
+            if chunk <= 1:
+                break
+            granularity = min(len(ops), granularity * 2)
+
+    return ShrinkResult(NemesisSpec(tuple(ops)), tests, len(schedule) - len(ops))

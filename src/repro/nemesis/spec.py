@@ -1,0 +1,462 @@
+"""The nemesis DSL: frozen, content-addressed, composable fault schedules.
+
+A :class:`NemesisSpec` is a declarative description of *everything that goes
+wrong* during one simulated run — the Jepsen-style nemesis, as a value.  It
+is an ordered tuple of frozen fault *ops*, each pinned to virtual time:
+
+* :class:`PartitionOp` — split the network into groups at ``at``, heal at
+  ``at + duration``;
+* :class:`CrashOp`     — crash-stop one process (on RSM runs the replica
+  rejoins as a learner per the run spec's ``recover_after``, giving
+  crash/recover storms);
+* :class:`DropOp`      — drop matching messages with probability ``p``
+  inside the window;
+* :class:`DelayOp`     — add constant-plus-exponential extra delay to
+  matching messages inside the window (a delay spike; on the datagram
+  channel this also reorders, since datagrams carry no FIFO floor);
+* :class:`DupOp`       — re-send matching messages with probability ``p``
+  inside the window (duplicate delivery);
+* :class:`FdFlapOp`    — failure-detector instability: the oracle falsely
+  suspects ``pid`` for the window, then trusts it again;
+* :class:`CpuSkewOp`   — scale/offset one node's per-event CPU cost for the
+  window (CPU-cost skew, the DES analogue of a slow clock).
+
+Like the run specs in :mod:`repro.engine.spec`, a schedule is hashable and
+content-addressed (:meth:`NemesisSpec.cache_key`), serializes to plain JSON
+(:meth:`to_dict`/:meth:`from_dict`) and composes by concatenation (``a + b``
+or :meth:`then`).  Randomness *inside* the schedule (drop/dup coin flips,
+delay jitter) comes from the simulator's dedicated ``"nemesis"`` RNG stream
+at execution time, so a schedule is fully deterministic per run seed while
+staying reusable across seeds.
+
+The schedule only describes faults; :mod:`repro.nemesis.inject` compiles it
+to kernel events against a live simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "NEMESIS_VERSION",
+    "PartitionOp",
+    "CrashOp",
+    "DropOp",
+    "DelayOp",
+    "DupOp",
+    "FdFlapOp",
+    "CpuSkewOp",
+    "NemesisSpec",
+    "crash_storm",
+    "op_from_dict",
+]
+
+#: Bumped whenever op semantics or the serialized layout change.
+NEMESIS_VERSION = 1
+
+
+def _check_window(op: Any) -> None:
+    if op.at < 0.0:
+        raise ConfigurationError(f"{op.op} op cannot start before t=0 (at={op.at})")
+    if getattr(op, "duration", 1.0) <= 0.0:
+        raise ConfigurationError(f"{op.op} op needs a positive duration")
+
+
+def _check_probability(op: Any, p: float) -> None:
+    if not 0.0 < p <= 1.0:
+        raise ConfigurationError(f"{op.op} op probability must be in (0, 1], got {p}")
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionOp:
+    """Split the network into ``groups`` at ``at``; heal at ``at + duration``.
+
+    Groups are sets of pids; messages only flow within a group while the
+    window is open (exactly :meth:`repro.sim.network.Network.partition`).
+    Pids in no group are isolated from everyone.
+    """
+
+    at: float
+    duration: float
+    groups: tuple[tuple[int, ...], ...]
+
+    op = "partition"
+
+    def __post_init__(self) -> None:
+        _check_window(self)
+        canonical = tuple(tuple(sorted(set(g))) for g in self.groups)
+        if not canonical or any(not g for g in canonical):
+            raise ConfigurationError("partition op needs at least one non-empty group")
+        object.__setattr__(self, "groups", canonical)
+
+    def to_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "at": self.at,
+            "duration": self.duration,
+            "groups": [list(g) for g in self.groups],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PartitionOp":
+        return cls(
+            at=data["at"],
+            duration=data["duration"],
+            groups=tuple(tuple(g) for g in data["groups"]),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CrashOp:
+    """Crash-stop process ``pid`` at ``at`` (the paper's fault model)."""
+
+    at: float
+    pid: int
+
+    op = "crash"
+
+    def __post_init__(self) -> None:
+        _check_window(self)
+
+    def to_dict(self) -> dict:
+        return {"op": self.op, "at": self.at, "pid": self.pid}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CrashOp":
+        return cls(at=data["at"], pid=data["pid"])
+
+
+def _match_fields(op: Any) -> dict:
+    out: dict = {}
+    if op.src is not None:
+        out["src"] = op.src
+    if op.dst is not None:
+        out["dst"] = op.dst
+    if op.channel is not None:
+        out["channel"] = op.channel
+    return out
+
+
+@dataclass(frozen=True, slots=True)
+class DropOp:
+    """Drop matching messages with probability ``p`` during the window.
+
+    ``src``/``dst``/``channel`` of ``None`` match anything.  Reliable
+    channels in the paper's system model never lose messages, so a drop
+    window is exactly the fault the indulgent protocols must mask.
+    """
+
+    at: float
+    duration: float
+    p: float = 1.0
+    src: int | None = None
+    dst: int | None = None
+    channel: str | None = None
+
+    op = "drop"
+
+    def __post_init__(self) -> None:
+        _check_window(self)
+        _check_probability(self, self.p)
+
+    def to_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "at": self.at,
+            "duration": self.duration,
+            "p": self.p,
+            **_match_fields(self),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DropOp":
+        return cls(
+            at=data["at"],
+            duration=data["duration"],
+            p=data["p"],
+            src=data.get("src"),
+            dst=data.get("dst"),
+            channel=data.get("channel"),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class DelayOp:
+    """Add ``extra`` (+ exponential ``jitter``) seconds to matching messages.
+
+    On the datagram channel added jitter reorders arrivals; on the reliable
+    channel the network's per-link FIFO floor still holds, so a spike there
+    models queueing, not reordering.
+    """
+
+    at: float
+    duration: float
+    extra: float = 0.0
+    jitter: float = 0.0
+    src: int | None = None
+    dst: int | None = None
+    channel: str | None = None
+
+    op = "delay"
+
+    def __post_init__(self) -> None:
+        _check_window(self)
+        if self.extra < 0.0 or self.jitter < 0.0:
+            raise ConfigurationError("delay op extra/jitter must be >= 0")
+        if self.extra == 0.0 and self.jitter == 0.0:
+            raise ConfigurationError("delay op needs extra > 0 or jitter > 0")
+
+    def to_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "at": self.at,
+            "duration": self.duration,
+            "extra": self.extra,
+            "jitter": self.jitter,
+            **_match_fields(self),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DelayOp":
+        return cls(
+            at=data["at"],
+            duration=data["duration"],
+            extra=data["extra"],
+            jitter=data["jitter"],
+            src=data.get("src"),
+            dst=data.get("dst"),
+            channel=data.get("channel"),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class DupOp:
+    """Duplicate matching messages with probability ``p`` during the window.
+
+    The duplicate is re-submitted to the network at the moment of the
+    original send, so it takes its own (independent) delay draw and its own
+    FIFO slot — the classic at-least-once fault that application-level
+    dedup must absorb.
+    """
+
+    at: float
+    duration: float
+    p: float = 1.0
+    src: int | None = None
+    dst: int | None = None
+    channel: str | None = None
+
+    op = "dup"
+
+    def __post_init__(self) -> None:
+        _check_window(self)
+        _check_probability(self, self.p)
+
+    def to_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "at": self.at,
+            "duration": self.duration,
+            "p": self.p,
+            **_match_fields(self),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DupOp":
+        return cls(
+            at=data["at"],
+            duration=data["duration"],
+            p=data["p"],
+            src=data.get("src"),
+            dst=data.get("dst"),
+            channel=data.get("channel"),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FdFlapOp:
+    """Failure-detector instability: falsely suspect ``pid`` for the window.
+
+    The oracle detector reports ``pid`` crashed at ``at`` and (if the node
+    has not actually crashed meanwhile) trusts it again at ``at + duration``
+    — the wrong-suspicion runs that indulgent protocols must survive without
+    violating safety.
+    """
+
+    at: float
+    duration: float
+    pid: int
+
+    op = "fd-flap"
+
+    def __post_init__(self) -> None:
+        _check_window(self)
+
+    def to_dict(self) -> dict:
+        return {"op": self.op, "at": self.at, "duration": self.duration, "pid": self.pid}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FdFlapOp":
+        return cls(at=data["at"], duration=data["duration"], pid=data["pid"])
+
+
+@dataclass(frozen=True, slots=True)
+class CpuSkewOp:
+    """Scale/offset ``pid``'s per-event CPU cost for the window.
+
+    ``cost = old * factor + extra`` while the window is open.  This is the
+    discrete-event analogue of clock/CPU skew: one node's handlers take
+    longer, so its sends and timer fires drift late relative to the group.
+    Only constant service-time models are skewed (callable models are left
+    untouched — all spec-driven runs use constants).
+    """
+
+    at: float
+    duration: float
+    pid: int
+    factor: float = 1.0
+    extra: float = 0.0
+
+    op = "cpu-skew"
+
+    def __post_init__(self) -> None:
+        _check_window(self)
+        if self.factor < 0.0 or self.extra < 0.0:
+            raise ConfigurationError("cpu-skew factor/extra must be >= 0")
+        if self.factor == 1.0 and self.extra == 0.0:
+            raise ConfigurationError("cpu-skew op needs factor != 1 or extra > 0")
+
+    def to_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "at": self.at,
+            "duration": self.duration,
+            "pid": self.pid,
+            "factor": self.factor,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CpuSkewOp":
+        return cls(
+            at=data["at"],
+            duration=data["duration"],
+            pid=data["pid"],
+            factor=data["factor"],
+            extra=data["extra"],
+        )
+
+
+NemesisOp = (
+    PartitionOp | CrashOp | DropOp | DelayOp | DupOp | FdFlapOp | CpuSkewOp
+)
+
+_OP_TYPES: dict[str, type] = {
+    cls.op: cls
+    for cls in (PartitionOp, CrashOp, DropOp, DelayOp, DupOp, FdFlapOp, CpuSkewOp)
+}
+
+
+def op_from_dict(data: dict) -> NemesisOp:
+    """Rebuild one fault op from its JSON dict form."""
+    cls = _OP_TYPES.get(data.get("op"))
+    if cls is None:
+        raise ConfigurationError(f"unknown nemesis op {data.get('op')!r}")
+    return cls.from_dict(data)
+
+
+@dataclass(frozen=True)
+class NemesisSpec:
+    """An ordered, frozen schedule of fault ops for one run.
+
+    Attach to a run spec (``AbcastRunSpec(..., nemesis=schedule)`` and
+    friends); the schedule serializes into the spec dict *only when
+    non-empty*, so nemesis-free specs keep their exact pre-nemesis cache
+    keys.  Schedules compose by concatenation: ``storm + partition_window``.
+    """
+
+    ops: tuple[NemesisOp, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ops", tuple(self.ops))
+        for op in self.ops:
+            if type(op).__name__ not in {
+                cls.__name__ for cls in _OP_TYPES.values()
+            }:
+                raise ConfigurationError(
+                    f"nemesis schedule holds a non-op value: {op!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __bool__(self) -> bool:
+        return bool(self.ops)
+
+    def __add__(self, other: "NemesisSpec | Iterable[NemesisOp]") -> "NemesisSpec":
+        extra = other.ops if isinstance(other, NemesisSpec) else tuple(other)
+        return NemesisSpec(self.ops + tuple(extra))
+
+    def then(self, *ops: NemesisOp) -> "NemesisSpec":
+        """A new schedule with ``ops`` appended (composition helper)."""
+        return NemesisSpec(self.ops + ops)
+
+    def sorted_ops(self) -> tuple[tuple[int, NemesisOp], ...]:
+        """(original_index, op) pairs in deterministic execution order.
+
+        Stable sort by start time; the original index breaks ties, so two
+        schedules that are permutations of each other compile to the same
+        kernel events only if their op order agrees — the schedule is a
+        *sequence*, not a set.
+        """
+        return tuple(
+            sorted(enumerate(self.ops), key=lambda pair: (pair[1].at, pair[0]))
+        )
+
+    def pids(self) -> frozenset[int]:
+        """Every pid the schedule names (for validation against a run's n)."""
+        named: set[int] = set()
+        for op in self.ops:
+            for name in ("pid", "src", "dst"):
+                value = getattr(op, name, None)
+                if value is not None:
+                    named.add(value)
+            for group in getattr(op, "groups", ()):
+                named.update(group)
+        return frozenset(named)
+
+    def to_dict(self) -> dict:
+        return {"ops": [op.to_dict() for op in self.ops]}
+
+    @classmethod
+    def from_dict(cls, data: dict | None) -> "NemesisSpec":
+        if data is None:
+            return cls()
+        return cls(ops=tuple(op_from_dict(item) for item in data["ops"]))
+
+    def cache_key(self) -> str:
+        """Stable content address of this schedule."""
+        canonical = json.dumps(
+            {"version": NEMESIS_VERSION, "kind": "nemesis", **self.to_dict()},
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def crash_storm(
+    pids: Sequence[int], start: float, spacing: float = 0.0
+) -> NemesisSpec:
+    """A crash storm: crash ``pids`` in order, ``spacing`` seconds apart."""
+    return NemesisSpec(
+        tuple(
+            CrashOp(at=start + index * spacing, pid=pid)
+            for index, pid in enumerate(pids)
+        )
+    )

@@ -237,6 +237,47 @@ def run_rsm(spec: RsmRunSpec, tracer=None, obs=None, ctx=None) -> RsmRunResult:
 
             nodes[pid].recover_at(at + spec.recover_after, rebuild)
 
+    if spec.nemesis:
+        from repro.nemesis.inject import NemesisRuntime  # local: sits above us
+
+        def nemesis_recovery(pid: int, at: float) -> None:
+            # Nemesis crashes follow the same learner-rejoin path as
+            # spec.crash_at, guarded because a nemesis op may target a pid
+            # that is already down (or already recovering) at fire time.
+            if spec.recover_after is None:
+                return
+
+            def rebuild(pid: int = pid) -> RsmReplica:
+                learner = RsmReplica(
+                    machine=KvStore(),
+                    store=fabric.store(pid),
+                    module_factory=None,
+                    snapshot_every=spec.snapshot_every,
+                    catchup_interval=spec.catchup_interval,
+                    tracer=tracer,
+                )
+                if obs_detail:
+                    learner.obs_detail = True
+                learners[pid] = learner
+                replicas[pid] = learner
+                return learner
+
+            def recover_if_down(pid: int = pid) -> None:
+                if nodes[pid].crashed:
+                    nodes[pid].recover(rebuild())
+
+            sim.schedule_at(at + spec.recover_after, recover_if_down)
+
+        NemesisRuntime(
+            spec.nemesis,
+            sim=sim,
+            network=network,
+            nodes=nodes,
+            oracle=oracle,
+            tracer=tracer,
+            crash_hook=nemesis_recovery,
+        ).install()
+
     sim.run(until=spec.horizon, max_events=spec.max_events)
 
     # ------------------------------------------------------------ validation

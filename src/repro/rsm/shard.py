@@ -573,6 +573,55 @@ def run_sharded_rsm(
 
             nodes[pid].recover_at(at + spec.recover_after, rebuild)
 
+    if spec.nemesis:
+        from repro.nemesis.inject import NemesisRuntime  # local: sits above us
+
+        class _OracleRouter:
+            """Routes nemesis FD flaps to the victim's shard oracle."""
+
+            @staticmethod
+            def on_crash(pid: int) -> None:
+                oracles[pid // gsize].on_crash(pid)
+
+            @staticmethod
+            def on_recovery(pid: int) -> None:
+                oracles[pid // gsize].on_recovery(pid)
+
+        def nemesis_recovery(pid: int, at: float) -> None:
+            if spec.recover_after is None:
+                return
+
+            def rebuild(pid: int = pid) -> RsmReplica:
+                learner = RsmReplica(
+                    machine=TxnKvStore(),
+                    store=fabric.store(pid),
+                    module_factory=None,
+                    snapshot_every=spec.snapshot_every,
+                    catchup_interval=spec.catchup_interval,
+                    tracer=tracer,
+                )
+                if obs_detail:
+                    learner.obs_detail = True
+                learners[pid] = learner
+                replicas[pid] = learner
+                return learner
+
+            def recover_if_down(pid: int = pid) -> None:
+                if nodes[pid].crashed:
+                    nodes[pid].recover(rebuild())
+
+            sim.schedule_at(at + spec.recover_after, recover_if_down)
+
+        NemesisRuntime(
+            spec.nemesis,
+            sim=sim,
+            network=network,
+            nodes=nodes,
+            oracle=_OracleRouter,
+            tracer=tracer,
+            crash_hook=nemesis_recovery,
+        ).install()
+
     sim.run(until=spec.horizon, max_events=spec.max_events)
 
     # ------------------------------------------------------------ validation

@@ -404,6 +404,13 @@ class NetworkStats:
         self.delivered = 0
         self.dropped = 0
         self.bytes_sent = 0
+        # Partition accounting: total sends blocked by a partition, plus one
+        # {"start", "end", "blocked"} record per partition window (``end`` is
+        # None while a window is still open).  Both appear in snapshot() only
+        # when a partition was ever applied, so fault-free reports keep their
+        # exact historical bytes.
+        self.partition_blocked = 0
+        self.partition_windows: list[dict] = []
         # Fan-out fast-path counters (surfaced by repro.perf).  Deliberately
         # not part of snapshot(): report JSON must stay byte-stable across
         # the batched and sequential send paths.
@@ -584,6 +591,22 @@ class NetworkStats:
     def record_dropped(self) -> None:
         self.dropped += 1
 
+    # ---------------------------------------------------- partition windows
+
+    def begin_partition_window(self, now: float) -> None:
+        self.end_partition_window(now)
+        self.partition_windows.append({"start": now, "end": None, "blocked": 0})
+
+    def end_partition_window(self, now: float) -> None:
+        if self.partition_windows and self.partition_windows[-1]["end"] is None:
+            self.partition_windows[-1]["end"] = now
+
+    def record_partition_blocked(self) -> None:
+        self.dropped += 1
+        self.partition_blocked += 1
+        if self.partition_windows and self.partition_windows[-1]["end"] is None:
+            self.partition_windows[-1]["blocked"] += 1
+
     @property
     def by_channel(self) -> Counter:
         return Counter(self._channel_counts)
@@ -597,7 +620,7 @@ class NetworkStats:
         return Counter({kind: s[1] for kind, s in self._kind_stats.items()})
 
     def snapshot(self) -> dict:
-        return {
+        snap = {
             "sent": self.sent,
             "delivered": self.delivered,
             "dropped": self.dropped,
@@ -606,6 +629,12 @@ class NetworkStats:
             "by_kind": {kind: s[0] for kind, s in self._kind_stats.items()},
             "by_kind_bytes": {kind: s[1] for kind, s in self._kind_stats.items()},
         }
+        # Only runs that actually partitioned the network grow these keys;
+        # every pre-existing report stays byte-identical.
+        if self.partition_windows:
+            snap["partition_blocked"] = self.partition_blocked
+            snap["partition_windows"] = [dict(w) for w in self.partition_windows]
+        return snap
 
 
 def _kind_of(payload: Any) -> str:
@@ -721,12 +750,46 @@ class Network:
         return remove
 
     def partition(self, *groups: set[int]) -> None:
-        """Split the network: messages only flow within a group."""
+        """Split the network: messages only flow within a group.
+
+        Applying a partition opens an accounting window in
+        :class:`NetworkStats` (blocked sends are counted per window) and,
+        when observability is on, records a ``net-partition`` trace event —
+        partitions used to be invisible in trace exports.
+        """
+        was_partitioned = bool(self._partitions)
         self._partitions = [frozenset(g) for g in groups]
+        now = self.sim._now
+        if self._partitions:
+            self.stats.begin_partition_window(now)
+            if self.obs_tracer is not None:
+                self.obs_tracer.emit(
+                    now,
+                    -1,
+                    KINDS.NET_PARTITION,
+                    {"groups": [sorted(g) for g in self._partitions]},
+                )
+        elif was_partitioned:
+            # partition() with no groups is a heal in disguise.
+            self._record_heal(now)
 
     def heal(self) -> None:
-        """Remove any partition."""
+        """Remove any partition (closes the stats window, traces the heal)."""
+        was_partitioned = bool(self._partitions)
         self._partitions = []
+        if was_partitioned:
+            self._record_heal(self.sim._now)
+
+    def _record_heal(self, now: float) -> None:
+        stats = self.stats
+        stats.end_partition_window(now)
+        if self.obs_tracer is not None:
+            blocked = (
+                stats.partition_windows[-1]["blocked"]
+                if stats.partition_windows
+                else 0
+            )
+            self.obs_tracer.emit(now, -1, KINDS.NET_HEAL, {"blocked": blocked})
 
     def _partition_blocks(self, src: int, dst: int) -> bool:
         if not self._partitions:
@@ -803,7 +866,7 @@ class Network:
             )
 
         if self._partitions and self._partition_blocks(src, dst):
-            stats.record_dropped()
+            stats.record_partition_blocked()
             return
 
         extra = 0.0

@@ -56,6 +56,18 @@ class KINDS:
     TXN_DECIDE = "txn-decide"
     TXN_END = "txn-end"
 
+    # Fault-injection lifecycle.  ``net-partition``/``net-heal`` are emitted
+    # by the network itself (detailed, like msg-send) whenever a partition is
+    # applied or removed; ``nemesis-start``/``nemesis-end`` bracket each
+    # scheduled nemesis op and are emitted whenever a tracer is attached to a
+    # run carrying a nemesis schedule (a nemesis-free run never produces
+    # them, so existing trace output is unchanged).  All four use pid = -1:
+    # faults are god's-eye events, like the oracle detector's records.
+    NET_PARTITION = "net-partition"
+    NET_HEAL = "net-heal"
+    NEMESIS_START = "nemesis-start"
+    NEMESIS_END = "nemesis-end"
+
     ALL = frozenset(
         {
             A_BROADCAST,
@@ -76,6 +88,10 @@ class KINDS:
             TXN_VOTE,
             TXN_DECIDE,
             TXN_END,
+            NET_PARTITION,
+            NET_HEAL,
+            NEMESIS_START,
+            NEMESIS_END,
         }
     )
 

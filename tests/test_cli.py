@@ -376,3 +376,50 @@ class TestTraceCli:
         assert main(["trace", "summary", str(path)]) == 0
         assert "unknown kinds" in capsys.readouterr().err
         assert main(["trace", "summary", str(path), "--strict"]) == 1
+
+
+class TestFuzzCli:
+    """``repro fuzz``: bounded smoke campaign and repro replay."""
+
+    def test_stock_protocol_smoke_is_clean(self, capsys):
+        # The CI fuzz-smoke contract: a fixed-seed bounded campaign against
+        # a stock protocol finds zero safety violations and exits 0.
+        code = main(
+            ["fuzz", "--kind", "consensus", "--protocol", "p-consensus",
+             "--budget", "6", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "violations=0" in out
+
+    def test_replay_of_saved_repro(self, tmp_path, monkeypatch, capsys):
+        from repro.engine import ClusterSpec, ConsensusRunSpec
+        from repro.harness.registry import CONSENSUS, ProtocolInfo
+        from repro.nemesis.fuzz import fuzz_schedules, save_repro
+        from repro.sim.network import UniformDelay
+        from tests.test_fault_injection import GreedyLConsensus
+
+        def make(pid, env, oracle, host):
+            return GreedyLConsensus(env, oracle.omega(pid))
+
+        registry = dict(PROTOCOLS)
+        registry["greedy-l"] = ProtocolInfo("greedy-l", CONSENSUS, make)
+        monkeypatch.setattr("repro.harness.registry.PROTOCOLS", registry)
+        spec = ConsensusRunSpec(
+            protocol="greedy-l",
+            proposals=("b", "a", "a", "a"),
+            seed=30,
+            cluster=ClusterSpec(
+                delay=UniformDelay(1e-4, 3e-3), detection_delay=1e-3
+            ),
+            horizon=5.0,
+        )
+        result = fuzz_schedules(
+            spec, budget=40, seed=0, window=0.01, vary_seed=False
+        )
+        path = tmp_path / "repro.json"
+        save_repro(result.findings[0], path)
+
+        assert main(["fuzz", "--replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "reproduced AgreementViolation" in out

@@ -50,10 +50,15 @@ class SelfishCAbcastConsensus(PConsensus):
 class TestConsensusCheckersHaveTeeth:
     def test_greedy_one_step_violates_agreement_under_jitter(self):
         # Split proposals plus jitter: some seed makes a greedy decider see
-        # n - f equal values while the leader pushes the other value.
+        # n - f equal values while the leader pushes the other value.  The
+        # leader crash is expressed as a declarative nemesis schedule — the
+        # same fault the fuzzer would synthesise (see tests/test_fuzz.py).
+        from repro.nemesis import CrashOp, NemesisSpec
+
         def make(pid, env, oracle, host):
             return GreedyLConsensus(env, oracle.omega(pid))
 
+        leader_crash = NemesisSpec((CrashOp(at=0.0008, pid=0),))
         violations = 0
         for seed in range(40):
             try:
@@ -63,7 +68,7 @@ class TestConsensusCheckersHaveTeeth:
                     seed=seed,
                     delay=UniformDelay(1e-4, 3e-3),
                     horizon=5.0,
-                    crash_at={0: 0.0008},
+                    nemesis=leader_crash,
                     detection_delay=1e-3,
                 )
             except ProtocolViolation:

@@ -1,0 +1,189 @@
+"""Coverage-guided fault fuzzer tests, including the headline acceptance
+scenario: a seeded fuzz run against a deliberately broken protocol variant
+finds the safety violation, delta-debugs the failing schedule to a minimal
+core (≤ 25% of the original event count), and the shrunk schedule replays
+deterministically to the same checker failure from its serialised JSON.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.engine import ClusterSpec, ConsensusRunSpec
+from repro.errors import AgreementViolation, ConfigurationError
+from repro.harness.registry import CONSENSUS, PROTOCOLS, ProtocolInfo
+from repro.nemesis import (
+    CpuSkewOp,
+    CrashOp,
+    DelayOp,
+    NemesisSpec,
+)
+from repro.nemesis.fuzz import (
+    DEFAULT_OPS,
+    FULL_OPS,
+    REPRO_SCHEMA,
+    _run_trial,
+    _trial_spec,
+    fuzz_schedules,
+    load_repro,
+    random_schedule,
+    replay_repro,
+    save_repro,
+)
+from repro.sim.network import UniformDelay
+
+from tests.test_fault_injection import GreedyLConsensus
+
+
+@pytest.fixture
+def greedy_registered(monkeypatch):
+    """Register the sabotaged one-step variant under ``greedy-l``."""
+
+    def make(pid, env, oracle, host):
+        return GreedyLConsensus(env, oracle.omega(pid))
+
+    registry = dict(PROTOCOLS)
+    registry["greedy-l"] = ProtocolInfo(
+        "greedy-l", CONSENSUS, make, description="naive one-step (Theorem 1 violation)"
+    )
+    monkeypatch.setattr("repro.harness.registry.PROTOCOLS", registry)
+    return "greedy-l"
+
+
+def greedy_spec(seed=30):
+    """Jittery 4-process split-proposal run.  Seed 30 is a pinned run seed
+    whose fault-free execution decides correctly but where early pressure on
+    the leader (crash, partition, drop, delay) flips a greedy decider."""
+    return ConsensusRunSpec(
+        protocol="greedy-l",
+        proposals=("b", "a", "a", "a"),
+        seed=seed,
+        cluster=ClusterSpec(delay=UniformDelay(1e-4, 3e-3), detection_delay=1e-3),
+        horizon=5.0,
+    )
+
+
+class TestFuzzAcceptance:
+    def test_fault_free_baseline_is_clean(self, greedy_registered):
+        _, err = _run_trial(_trial_spec(greedy_spec(), NemesisSpec()))
+        assert err is None
+
+    def test_seeded_fuzz_finds_shrinks_and_replays(self, greedy_registered, tmp_path):
+        result = fuzz_schedules(
+            greedy_spec(), budget=40, seed=0, max_ops=8, window=0.01,
+            vary_seed=False,
+        )
+        assert result.found and result.violations >= 1
+        finding = result.findings[0]
+        assert finding.error_type == "AgreementViolation"
+        # The minimal core is real: non-empty (the baseline is clean) and
+        # at most a quarter of the original schedule.
+        assert 1 <= len(finding.shrunk) <= max(1, len(finding.schedule) // 4)
+
+        path = tmp_path / "repro.json"
+        save_repro(finding, path)
+        data = load_repro(path)
+        assert data["schema"] == REPRO_SCHEMA
+        err = replay_repro(path)
+        assert isinstance(err, AgreementViolation)
+        assert str(err) == finding.shrunk_error_message
+
+    def test_padded_schedule_shrinks_to_core(self, greedy_registered, tmp_path):
+        # Deterministic ≤25% pin: a known-failing crash op padded with 15
+        # benign ops (all far beyond the ~5ms decision) must shrink back to
+        # a handful of ops — 25% of 16 at the very worst.
+        core = CrashOp(at=0.002, pid=0)
+        padding = tuple(
+            DelayOp(at=1.0 + 0.1 * i, duration=0.05, extra=1e-4) for i in range(10)
+        ) + tuple(
+            CpuSkewOp(at=2.5 + 0.1 * i, duration=0.05, pid=i % 4, factor=2.0)
+            for i in range(5)
+        )
+        padded = NemesisSpec((core,) + padding)
+        assert len(padded) == 16
+        spec = greedy_spec()
+        _, err = _run_trial(_trial_spec(spec, padded))
+        assert isinstance(err, AgreementViolation)
+
+        from repro.nemesis import shrink_schedule
+
+        def failing(schedule):
+            _, e = _run_trial(_trial_spec(spec, schedule))
+            return isinstance(e, AgreementViolation)
+
+        shrunk = shrink_schedule(padded, failing)
+        assert 1 <= len(shrunk.schedule) <= 4  # ≤ 25% of 16
+        assert failing(shrunk.schedule)
+
+
+class TestFuzzCampaign:
+    def test_campaign_is_deterministic(self, greedy_registered):
+        runs = [
+            fuzz_schedules(
+                greedy_spec(), budget=10, seed=3, window=0.01, vary_seed=False
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].trials == runs[1].trials
+        assert runs[0].violations == runs[1].violations
+        assert runs[0].coverage == runs[1].coverage
+        if runs[0].findings:
+            assert (
+                runs[0].findings[0].schedule.to_dict()
+                == runs[1].findings[0].schedule.to_dict()
+            )
+
+    def test_stock_protocol_has_no_violations(self):
+        # CI smoke contract: stock protocols survive a bounded seeded
+        # campaign with zero safety violations (terminations are expected —
+        # partitions on reliable channels lose messages forever).
+        spec = ConsensusRunSpec(
+            protocol="p-consensus",
+            proposals=("v0", "v1", "v2", "v3"),
+            cluster=ClusterSpec(delay=UniformDelay(1e-4, 3e-3), detection_delay=1e-3),
+            horizon=5.0,
+            seed=0,
+        )
+        result = fuzz_schedules(spec, budget=12, seed=1)
+        assert result.violations == 0
+        assert not result.found
+        assert result.trials == 12
+
+    def test_spec_with_existing_nemesis_rejected(self):
+        spec = dataclasses.replace(
+            greedy_spec(), nemesis=NemesisSpec((CrashOp(at=0.01, pid=0),))
+        )
+        with pytest.raises(ConfigurationError):
+            fuzz_schedules(spec, budget=1)
+
+    def test_repro_dict_round_trips_schedule(self, greedy_registered, tmp_path):
+        result = fuzz_schedules(
+            greedy_spec(), budget=40, seed=0, max_ops=8, window=0.01,
+            vary_seed=False,
+        )
+        finding = result.findings[0]
+        blob = json.dumps(finding.to_repro_dict())
+        data = json.loads(blob)
+        assert NemesisSpec.from_dict(data["spec"]["nemesis"]) == finding.shrunk
+        assert NemesisSpec.from_dict(data["original_schedule"]) == finding.schedule
+        assert data["shrunk_op_count"] == len(finding.shrunk)
+        # The embedded spec carries the shrunk schedule and replays alone.
+        err = replay_repro(data)
+        assert isinstance(err, AgreementViolation)
+
+
+class TestScheduleGeneration:
+    def test_random_schedules_respect_include_and_crash_budget(self):
+        import random
+
+        rng = random.Random(7)
+        for _ in range(50):
+            sched = random_schedule(rng, n=4, window=0.1, include=DEFAULT_OPS)
+            kinds = [op.op for op in sched.ops]
+            assert set(kinds) <= set(DEFAULT_OPS)
+            assert "dup" not in kinds  # beyond-model, opt-in via FULL_OPS
+            assert kinds.count("crash") <= 1  # n=4 → budget (n-1)//3 = 1
+
+    def test_full_ops_includes_dup(self):
+        assert set(FULL_OPS) == set(DEFAULT_OPS) | {"dup"}

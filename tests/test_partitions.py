@@ -38,12 +38,12 @@ def partition_cluster(module_for, n=4, seed=0, proposals=None):
     oracle.watch(nodes)
     for node in nodes.values():
         node.start()
-    return sim, network, hosts
+    return sim, network, hosts, nodes
 
 
 class TestConsensusUnderPartition:
     def test_l_consensus_stalls_in_minority_and_finishes_after_heal(self):
-        sim, network, hosts = partition_cluster(
+        sim, network, hosts, _ = partition_cluster(
             lambda pid, env, oracle: LConsensus(env, oracle.omega(pid)), seed=1
         )
         # Split 2-2 immediately: no side has n - f = 3 processes.
@@ -59,7 +59,7 @@ class TestConsensusUnderPartition:
         sim.run(until=1.0)
 
     def test_partition_after_decision_is_harmless(self):
-        sim, network, hosts = partition_cluster(
+        sim, network, hosts, _ = partition_cluster(
             lambda pid, env, oracle: PConsensus(env, oracle.suspect(pid)),
             seed=2,
             proposals={p: "v" for p in range(4)},
@@ -73,11 +73,18 @@ class TestConsensusUnderPartition:
         check_consensus_validity({p: "v" for p in range(4)}, decisions)
 
     def test_majority_side_decides_during_partition(self):
-        sim, network, hosts = partition_cluster(
+        # The same scenario as the old hand-scripted partition/heal calls,
+        # now declared as a nemesis schedule: a 3-1 split from the very
+        # start (the majority side has n - f = 3) that heals at t=1.0.
+        from repro.nemesis import NemesisRuntime, NemesisSpec, PartitionOp
+
+        sim, network, hosts, nodes = partition_cluster(
             lambda pid, env, oracle: PConsensus(env, oracle.suspect(pid)), seed=3
         )
-        # 3-1 split from the very start: the majority side has n - f = 3.
-        network.partition({0, 1, 2}, {3})
+        split = NemesisSpec(
+            (PartitionOp(at=0.0, duration=1.0, groups=((0, 1, 2), (3,))),)
+        )
+        NemesisRuntime(split, sim=sim, network=network, nodes=nodes).install()
         sim.run(until=1.0)
         majority = {p: hosts[p].decision_value for p in (0, 1, 2)}
         assert all(v is not None for v in majority.values())
@@ -85,7 +92,6 @@ class TestConsensusUnderPartition:
         assert hosts[3].decision_value is None
         # After healing, DECIDE forwards... do not exist anymore (they were
         # dropped).  p3 can still never disagree: it simply stays undecided.
-        network.heal()
         sim.run(until=1.5)
         values = {v for v in (hosts[3].decision_value, *majority.values()) if v}
         assert len(values) == 1

@@ -208,6 +208,61 @@ class TestTopologySpecFreeze:
         assert spec.cache_key() != self._plain_spec().cache_key()
 
 
+class TestNemesisSpecFreeze:
+    """Specs without a nemesis schedule must serialise byte-identically to
+    the pre-nemesis era: these cache keys were produced before the
+    ``nemesis`` field existed, so a leaked default would invalidate every
+    cached sweep on disk (the same contract ``TestTopologySpecFreeze`` pins
+    for the topology group)."""
+
+    KEY_ABCAST = "9d807f199ab6103d70d738480f2687742d4875babfe42ba63b94f1da1d8dcc3d"
+    KEY_ABCAST_CRASH = (
+        "3c07e00db28ae05ffad002d6d9ed65c40f7158e3a97823076dacabf8908df515"
+    )
+    KEY_CONSENSUS = (
+        "8620c2f60da8782bf7425393dcb39e4c090f48952090c5aaf5ced08f571de687"
+    )
+
+    def test_abcast_cache_key_frozen(self):
+        spec = AbcastRunSpec(
+            protocol="cabcast-l", rate=80.0, duration=0.4, n=4, seed=5
+        )
+        assert spec.cache_key() == self.KEY_ABCAST
+        assert "nemesis" not in spec.to_dict()
+
+    def test_abcast_crash_cache_key_frozen(self):
+        from repro.engine import PAPER_LAN
+
+        spec = AbcastRunSpec(
+            protocol="wabcast",
+            rate=200.0,
+            duration=1.0,
+            n=4,
+            seed=0,
+            cluster=PAPER_LAN,
+            crash_at=((1, 0.25),),
+        )
+        assert spec.cache_key() == self.KEY_ABCAST_CRASH
+
+    def test_consensus_cache_key_frozen(self):
+        spec = ConsensusRunSpec(
+            protocol="l-consensus", proposals=("a", "b", "c", "d"), seed=3
+        )
+        assert spec.cache_key() == self.KEY_CONSENSUS
+        assert "nemesis" not in spec.to_dict()
+
+    def test_rsm_cache_key_unchanged_by_nemesis_field(self):
+        # Same spec as TestTopologySpecFreeze.KEY_PLAIN: one pin guards both
+        # the topology-group and nemesis-field freezes.
+        from repro.engine import RsmRunSpec
+
+        spec = RsmRunSpec(
+            protocol="cabcast-l", rate=120.0, duration=0.4, n=3, clients=4, seed=7
+        )
+        assert spec.cache_key() == TestTopologySpecFreeze.KEY_PLAIN
+        assert "nemesis" not in spec.to_dict()
+
+
 class TestRunContextCompat:
     """The consolidated ``ctx=`` plumbing must behave exactly like the legacy
     ``tracer=``/``obs=`` kwargs it replaces."""

@@ -93,6 +93,10 @@ class TestKinds:
             "txn-vote",
             "txn-decide",
             "txn-end",
+            "net-partition",
+            "net-heal",
+            "nemesis-start",
+            "nemesis-end",
         }
 
     def test_all_tracks_every_declared_constant(self):
