@@ -1,0 +1,83 @@
+"""Gate two metrics-warehouse entries against a latency tolerance.
+
+Usage::
+
+    python benchmarks/check_warehouse.py --warehouse /tmp/warehouse.jsonl \
+        [--base -2] [--fresh -1]
+
+The warehouse is the append-only ``repro.warehouse.v1`` JSONL store written
+by ``repro obs record`` (see :mod:`repro.obs.warehouse`).  The fresh entry's
+latency metrics — delivery-latency mean/p95/p99, critical-path mean latency
+and the per-path decision-latency percentiles — must not exceed the base
+entry's by more than the tolerance; a larger growth fails the check
+(exit 1), mirroring ``check_bench.py``.
+
+All compared quantities are *simulated*-time latencies, so the gate is
+machine-independent: two entries recorded from the same spec and seed are
+byte-identical and always pass.  The default tolerance is 0.30 (30%); set
+``REPRO_WAREHOUSE_TOLERANCE`` (a fraction, e.g. ``0.5``) to widen or
+tighten it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+# Runnable both as "python benchmarks/check_warehouse.py" (PYTHONPATH=src)
+# and from a checkout root without an installed package.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.errors import ConfigurationError  # noqa: E402
+from repro.obs.warehouse import (  # noqa: E402
+    DEFAULT_TOLERANCE,
+    Warehouse,
+    compare_entries,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--warehouse", required=True, type=Path, help="repro.warehouse.v1 JSONL store"
+    )
+    parser.add_argument(
+        "--base", type=int, default=-2, help="baseline entry index (default -2)"
+    )
+    parser.add_argument(
+        "--fresh", type=int, default=-1, help="candidate entry index (default -1)"
+    )
+    args = parser.parse_args(argv)
+
+    raw = os.environ.get("REPRO_WAREHOUSE_TOLERANCE", "")
+    try:
+        tolerance = float(raw) if raw else DEFAULT_TOLERANCE
+    except ValueError:
+        sys.exit(f"check_warehouse: REPRO_WAREHOUSE_TOLERANCE={raw!r} is not a number")
+
+    store = Warehouse(str(args.warehouse))
+    try:
+        base = store.entry(args.base)
+        fresh = store.entry(args.fresh)
+        lines, failures = compare_entries(base, fresh, tolerance=tolerance)
+    except ConfigurationError as exc:
+        sys.exit(f"check_warehouse: {exc}")
+    print(
+        f"check_warehouse: entry {args.fresh} vs entry {args.base} of "
+        f"{args.warehouse} (tolerance {tolerance:.0%})"
+    )
+    for line in lines:
+        print(line)
+    if failures:
+        print("check_warehouse: FAIL")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("check_warehouse: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,9 +20,14 @@
   per-component event counts, events/sec, virtual-seconds per wall-second,
   optionally a cProfile hot-function table (``--cprofile``);
 * ``trace``     — observability traces (:mod:`repro.obs`): ``export`` runs a
-  spec with detailed tracing and writes JSONL or Chrome/Perfetto JSON;
-  ``summary`` and ``spans`` inspect an export; ``diff`` pinpoints the first
-  divergent record between two exports;
+  spec with detailed tracing (optionally under a ``--partition``/``--fd-flap``
+  nemesis schedule) and writes JSONL or Chrome/Perfetto JSON; ``summary``
+  and ``spans`` inspect an export; ``critical-path`` reconstructs each
+  decision's gating message chain and fallback cause; ``diff`` pinpoints
+  the first divergent record between two exports;
+* ``obs``       — the cross-run metrics warehouse (:mod:`repro.obs.warehouse`):
+  ``record`` appends one observed run's summary, ``report`` tabulates a
+  store, ``compare`` gates two entries against a latency tolerance;
 * ``protocols`` — the protocol registry (name, kind, default n, description);
 * ``table1``    — the analytical Table 1 for a given group size;
 * ``theorem1``  — the executable Theorem-1 impossibility certificate.
@@ -62,6 +67,53 @@ __all__ = ["main", "build_parser", "SWEEP_JSON_SCHEMA"]
 
 #: Schema tag of the ``sweep --json`` document (see docs/ENGINE.md).
 SWEEP_JSON_SCHEMA = "repro.sweep.v1"
+
+
+def _add_nemesis_args(parser: argparse.ArgumentParser) -> None:
+    """Nemesis-schedule flags shared by ``trace export`` and ``obs record``."""
+    parser.add_argument(
+        "--partition",
+        action="append",
+        default=[],
+        metavar="AT:DUR:GROUPS",
+        help="partition op: start, duration, '/'-separated pid groups "
+             "(e.g. 0.05:0.1:0/1,2,3 isolates p0; repeatable)",
+    )
+    parser.add_argument(
+        "--fd-flap",
+        action="append",
+        default=[],
+        metavar="AT:DUR:PID",
+        help="falsely suspect PID for DUR seconds starting at AT (repeatable)",
+    )
+
+
+def _parse_nemesis(args: argparse.Namespace):
+    """Build the :class:`NemesisSpec` from ``_add_nemesis_args`` flags.
+
+    Returns ``None`` when no fault flags were given, so fault-free specs
+    keep their exact pre-nemesis dict form and cache key.
+    """
+    from repro.nemesis import FdFlapOp, NemesisSpec, PartitionOp
+
+    ops: list = []
+    for item in args.partition:
+        at_text, dur_text, groups_text = item.split(":", 2)
+        groups = tuple(
+            tuple(int(pid) for pid in group.split(","))
+            for group in groups_text.split("/")
+        )
+        ops.append(
+            PartitionOp(at=float(at_text), duration=float(dur_text), groups=groups)
+        )
+    for item in args.fd_flap:
+        at_text, dur_text, pid_text = item.split(":", 2)
+        ops.append(
+            FdFlapOp(at=float(at_text), duration=float(dur_text), pid=int(pid_text))
+        )
+    if not ops:
+        return None
+    return NemesisSpec(ops=tuple(sorted(ops, key=lambda op: op.at)))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -284,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="jsonl (repro.trace.v1, diffable) or chrome (Perfetto timeline)",
     )
     t_export.add_argument("--out", required=True, metavar="FILE")
+    _add_nemesis_args(t_export)
 
     t_summary = trace_sub.add_parser(
         "summary", help="per-kind counts and span summary of a JSONL trace"
@@ -300,11 +353,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
     t_spans.add_argument("file")
 
+    t_cp = trace_sub.add_parser(
+        "critical-path",
+        help="decision critical paths and fallback causes of a JSONL trace",
+    )
+    t_cp.add_argument("file")
+    t_cp.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when a decided instance has no resolvable path "
+             "or a delivery lacks its matching send",
+    )
+    t_cp.add_argument(
+        "--json",
+        dest="json_out",
+        action="store_true",
+        help="print the paths as a JSON array instead of the table",
+    )
+
     t_diff = trace_sub.add_parser(
         "diff", help="first divergence between two JSONL traces"
     )
     t_diff.add_argument("left")
     t_diff.add_argument("right")
+
+    p_obs = sub.add_parser(
+        "obs", help="cross-run metrics warehouse (record, report, compare)"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    o_record = obs_sub.add_parser(
+        "record",
+        help="run one abcast spec with obs on and append its summary",
+    )
+    o_record.add_argument("--warehouse", required=True, metavar="FILE")
+    o_record.add_argument(
+        "--protocol", choices=protocol_names(ABCAST), default="cabcast-l"
+    )
+    o_record.add_argument("--n", type=int, default=4)
+    o_record.add_argument(
+        "--rate", type=float, default=100.0, help="aggregate msg/s"
+    )
+    o_record.add_argument("--duration", type=float, default=0.5)
+    o_record.add_argument("--seed", type=int, default=0)
+    o_record.add_argument(
+        "--crash",
+        action="append",
+        default=[],
+        metavar="PID@TIME",
+        help="crash PID at TIME seconds (repeatable)",
+    )
+    o_record.add_argument(
+        "--label", default=None, help="free-form tag stored with the entry"
+    )
+    _add_nemesis_args(o_record)
+
+    o_report = obs_sub.add_parser("report", help="tabulate a warehouse file")
+    o_report.add_argument("warehouse", metavar="FILE")
+
+    o_compare = obs_sub.add_parser(
+        "compare",
+        help="gate two warehouse entries against a latency tolerance",
+    )
+    o_compare.add_argument("warehouse", metavar="FILE")
+    o_compare.add_argument(
+        "--base", type=int, default=-2, help="baseline entry index (default -2)"
+    )
+    o_compare.add_argument(
+        "--fresh", type=int, default=-1, help="candidate entry index (default -1)"
+    )
+    o_compare.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="max tolerated latency growth as a fraction (default 0.30)",
+    )
 
     p_fuzz = sub.add_parser(
         "fuzz",
@@ -807,6 +930,7 @@ def _trace_export(args: argparse.Namespace) -> int:
     from repro.engine.runner import run_abcast_spec
     from repro.obs import ObsRuntime, export_chrome, export_jsonl
 
+    nemesis = _parse_nemesis(args)
     spec = AbcastRunSpec(
         protocol=args.protocol,
         rate=args.rate,
@@ -817,6 +941,11 @@ def _trace_export(args: argparse.Namespace) -> int:
         cluster=PAPER_LAN,
         crash_at=_parse_crashes(args.crash),
         obs=True,
+        nemesis=nemesis,
+        # Partitions drop reliable-channel sends for good (no retransmit in
+        # the paper's protocols), so messages broadcast into a partition
+        # window may legitimately never deliver everywhere.
+        require_all_delivered=nemesis is None,
     )
     obs = ObsRuntime.from_spec(spec)
     run_abcast_spec(spec, tracer=obs.tracer, obs=obs)
@@ -924,14 +1053,76 @@ def _trace_diff(args: argparse.Namespace) -> int:
         print(f"identical: {len(left)} records")
         return 0
     index, left_row, right_row = divergence
+    if left_row is None or right_row is None:
+        # Strict prefix: no record disagrees, one trace just keeps going.
+        longer = "right" if left_row is None else "left"
+        extra = right_row if left_row is None else left_row
+        trailing = max(len(left), len(right)) - index
+        time, pid, kind, data = extra
+        print(f"prefix: traces agree on the first {index} records; "
+              f"{longer} has {trailing} extra trailing record(s)")
+        print(f"  first extra ({longer}): "
+              f"t={time:.6f} pid={pid} kind={kind} data={data!r}")
+        return 1
     print(f"diverged at record {index}:")
     for name, row in (("left", left_row), ("right", right_row)):
-        if row is None:
-            print(f"  {name:<5}: <absent — trace ends at record {index}>")
-        else:
-            time, pid, kind, data = row
-            print(f"  {name:<5}: t={time:.6f} pid={pid} kind={kind} data={data!r}")
+        time, pid, kind, data = row
+        print(f"  {name:<5}: t={time:.6f} pid={pid} kind={kind} data={data!r}")
     return 1
+
+
+def _trace_critical_path(args: argparse.Namespace) -> int:
+    from repro.obs import SpanBuilder, load_trace
+    from repro.obs.causal import CausalGraph, critical_paths
+
+    _, rows = load_trace(args.file)
+    builder = SpanBuilder().add_rows(rows)
+    graph = CausalGraph.from_rows(rows)
+    paths = critical_paths(builder, graph)
+    decided = [span for span in builder.consensus_spans() if span.decided]
+    if args.json_out:
+        print(json.dumps(
+            [path.to_dict() for path in paths], indent=2, sort_keys=True
+        ))
+    else:
+        for path in paths:
+            label = (
+                "consensus"
+                if path.instance is None
+                else f"consensus[{path.instance}]"
+            )
+            wire = (
+                f", {path.network_time * 1e3:.3f} ms on the wire"
+                if path.hops else ""
+            )
+            print(f"p{path.pid} {label}: {path.steps} step(s) via {path.via}, "
+                  f"{len(path.hops)} hop(s) in {path.latency * 1e3:.3f} ms{wire}")
+            for hop in path.hops:
+                print(f"    #{hop.msg_id} {hop.kind} p{hop.src}→p{hop.dst} "
+                      f"sent t={hop.sent_at * 1e3:.3f} ms, "
+                      f"flight {hop.flight_time * 1e3:.3f} ms")
+            if path.cause is not None:
+                cause = path.cause
+                op = cause.get("op")
+                via_op = f" during nemesis op {op['op']}@{op['at']:g}s" if op else ""
+                print(f"    cause: {cause['kind']} at t={cause['time'] * 1e3:.3f} ms "
+                      f"(pid {cause['pid']}){via_op}")
+    problems = []
+    if len(paths) < len(decided):
+        problems.append(
+            f"{len(decided) - len(paths)} decided instance(s) "
+            "with no resolvable critical path"
+        )
+    if graph.orphan_delivers:
+        problems.append(
+            f"{len(graph.orphan_delivers)} delivery record(s) "
+            "without a matching send"
+        )
+    for problem in problems:
+        print(f"problem  : {problem}", file=sys.stderr)
+    if not paths and not problems:
+        print("no decided instances in this trace")
+    return 1 if args.strict and problems else 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -939,8 +1130,86 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         "export": _trace_export,
         "summary": _trace_summary,
         "spans": _trace_spans,
+        "critical-path": _trace_critical_path,
         "diff": _trace_diff,
     }[args.trace_command](args)
+
+
+def _obs_record(args: argparse.Namespace) -> int:
+    from repro.engine import RunContext
+    from repro.engine.runner import execute_run
+    from repro.obs import ObsRuntime, Warehouse, build_entry
+
+    nemesis = _parse_nemesis(args)
+    spec = AbcastRunSpec(
+        protocol=args.protocol,
+        rate=args.rate,
+        duration=args.duration,
+        n=args.n,
+        seed=args.seed,
+        drain=2.0,
+        cluster=PAPER_LAN,
+        crash_at=_parse_crashes(args.crash),
+        obs=True,
+        nemesis=nemesis,
+        require_all_delivered=nemesis is None,
+    )
+    obs = ObsRuntime.from_spec(spec)
+    ctx = RunContext(tracer=obs.tracer, obs=obs)
+    report = execute_run(spec, ctx=ctx)
+    entry = build_entry(report, obs.tracer.records, label=args.label)
+    index = Warehouse(args.warehouse).append(entry)
+    latency = entry.get("latency") or {}
+    mean = latency.get("mean")
+    mean_text = f"{mean * 1e3:.3f} ms" if mean is not None else "-"
+    print(f"recorded : entry {index} in {args.warehouse} "
+          f"({entry['protocol']} seed {entry['seed']}, "
+          f"mean latency {mean_text}, key {entry['key'][:12]})")
+    return 0
+
+
+def _obs_report(args: argparse.Namespace) -> int:
+    from repro.obs import Warehouse
+    from repro.obs.warehouse import format_entry
+
+    entries = Warehouse(args.warehouse).load()
+    if not entries:
+        print(f"{args.warehouse}: empty warehouse")
+        return 0
+    print(f"{'idx':>3}  {'protocol':<12} {'seed':>6} {'decided':>9} "
+          f"{'fast':>4} {'mean ms':>8} {'cps':>3} {'causes':<16} key")
+    for index, entry in enumerate(entries):
+        print(format_entry(index, entry))
+    return 0
+
+
+def _obs_compare(args: argparse.Namespace) -> int:
+    from repro.obs import Warehouse, compare_entries
+    from repro.obs.warehouse import DEFAULT_TOLERANCE
+
+    store = Warehouse(args.warehouse)
+    base = store.entry(args.base)
+    fresh = store.entry(args.fresh)
+    tolerance = DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+    lines, failures = compare_entries(base, fresh, tolerance=tolerance)
+    print(f"comparing entry {args.fresh} against entry {args.base} "
+          f"(tolerance {tolerance:.0%})")
+    for line in lines:
+        print(line)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("ok: no latency regression")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    return {
+        "record": _obs_record,
+        "report": _obs_report,
+        "compare": _obs_compare,
+    }[args.obs_command](args)
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -1065,6 +1334,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "profile": _cmd_profile,
     "trace": _cmd_trace,
+    "obs": _cmd_obs,
     "fuzz": _cmd_fuzz,
     "protocols": _cmd_protocols,
     "table1": _cmd_table1,

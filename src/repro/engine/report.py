@@ -84,6 +84,32 @@ class RunReport:
             return 0.0
         return 1.0 - self.delivered / self.offered
 
+    def latency_summary_dict(self) -> dict | None:
+        """The window-latency summary in the unified percentile vocabulary.
+
+        Same keys as :meth:`MetricsRegistry.histogram_summary` and the span
+        summary's ``decision_latency`` buckets (count/min/max/mean/p50/p95/
+        p99), so warehouse entries and obs sections read alike.  ``None``
+        for an empty window; NaN statistics (summaries deserialised from
+        before p50/p99 existed) are omitted rather than emitted.
+        """
+        if self.summary.is_empty:
+            return None
+        values = {
+            "count": self.summary.count,
+            "min": self.summary.minimum,
+            "max": self.summary.maximum,
+            "mean": self.summary.mean,
+            "p50": self.summary.p50,
+            "p95": self.summary.p95,
+            "p99": self.summary.p99,
+        }
+        return {
+            name: value
+            for name, value in values.items()
+            if not (isinstance(value, float) and value != value)
+        }
+
     # ----------------------------------------------------------- persistence
 
     def to_dict(self) -> dict:

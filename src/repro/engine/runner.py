@@ -176,7 +176,9 @@ def window_latencies(result, warmup: float, duration: float) -> tuple[int, list[
 
 
 def execute_run(
-    spec: AbcastRunSpec | RsmRunSpec, collect_perf: bool = False
+    spec: AbcastRunSpec | RsmRunSpec,
+    collect_perf: bool = False,
+    ctx: RunContext | None = None,
 ) -> RunReport:
     """Run one spec to completion and distil it into a :class:`RunReport`.
 
@@ -185,11 +187,21 @@ def execute_run(
     grid.  ``collect_perf`` additionally times the run against the wall clock
     and attaches a :mod:`repro.perf` section (``report.perf``); the default
     path never reads the clock, so normal sweeps are unaffected.
+
+    ``ctx`` lets a caller supply the run's :class:`RunContext` and keep hold
+    of the tracer afterwards — ``repro obs record`` uses this to fold the
+    trace into a warehouse entry alongside the report.  Only abcast specs
+    accept an external context (RSM runs build their own).
     """
     if isinstance(spec, RsmRunSpec):
+        if ctx is not None:
+            raise ConfigurationError("execute_run(ctx=...) only supports abcast specs")
         return _execute_rsm_run(spec, collect_perf=collect_perf)
-    tracer = Tracer()
-    ctx = RunContext(tracer=tracer, obs=_obs_runtime(spec, tracer))
+    if ctx is None:
+        tracer = Tracer()
+        ctx = RunContext(tracer=tracer, obs=_obs_runtime(spec, tracer))
+    else:
+        tracer = ctx.tracer
     obs = ctx.obs
     perf = None
     if collect_perf:

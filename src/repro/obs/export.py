@@ -10,7 +10,13 @@ Chrome trace-event format: the ``{"traceEvents": [...]}`` JSON that
 ``chrome://tracing`` and https://ui.perfetto.dev load directly.  Simulated
 processes map to tracks (one pid each), individual trace records to instant
 events, and reconstructed consensus spans to duration (``X``) events, so a
-run's fast-path/fallback structure is visible on a timeline.
+run's fast-path/fallback structure is visible on a timeline.  When the
+trace carries message ids (msg-send/msg-deliver under obs), each matched
+send → deliver pair additionally becomes a **flow event** pair (``s``/``f``
+arrows between tracks) and every decided instance gets its causal critical
+path rendered: one ``critical-path`` duration on the decider's track plus a
+``cp:`` duration per hop spanning the hop's flight time on the receiving
+track.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ import json
 from typing import Any, Iterable, TextIO
 
 from repro.errors import ConfigurationError
+from repro.obs.causal import CausalGraph, critical_paths
 from repro.obs.spans import SpanBuilder
 from repro.sim.trace import TraceRecord, describe_value
 
@@ -128,6 +135,75 @@ def export_chrome(
                 "ts": span.propose_at * _MICROS,
             }
         )
+    # Causal layer: send → deliver flow arrows plus per-decision critical
+    # paths.  Traces without message ids (obs off, pre-causal exports) have
+    # no matched pairs and no hops, so they emit nothing extra here.
+    graph = CausalGraph.from_records(records)
+    for send, deliver in graph.flows():
+        events.append(
+            {
+                "cat": "msg",
+                "id": send.id,
+                "name": send.kind,
+                "ph": "s",
+                "pid": 0,
+                "tid": send.src,
+                "ts": send.time * _MICROS,
+            }
+        )
+        events.append(
+            {
+                "bp": "e",
+                "cat": "msg",
+                "id": send.id,
+                "name": send.kind,
+                "ph": "f",
+                "pid": 0,
+                "tid": deliver.dst,
+                "ts": deliver.time * _MICROS,
+            }
+        )
+    for path in critical_paths(builder, graph):
+        if path.propose_at is None or not path.hops:
+            continue
+        label = (
+            "critical-path"
+            if path.instance is None
+            else f"critical-path[{path.instance}]"
+        )
+        args: dict[str, Any] = {
+            "hops": len(path.hops),
+            "network_time_us": path.network_time * _MICROS,
+            "steps": path.steps,
+            "via": path.via,
+        }
+        if path.cause is not None:
+            args["cause"] = path.cause
+        events.append(
+            {
+                "args": args,
+                "cname": "terrible" if path.cause is not None else "good",
+                "dur": (path.decided_at - path.propose_at) * _MICROS,
+                "name": label,
+                "ph": "X",
+                "pid": 0,
+                "tid": path.pid,
+                "ts": path.propose_at * _MICROS,
+            }
+        )
+        for hop in path.hops:
+            events.append(
+                {
+                    "args": {"msg_id": hop.msg_id, "src": hop.src},
+                    "cat": "critical-path",
+                    "dur": hop.flight_time * _MICROS,
+                    "name": f"cp:{hop.kind}",
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": hop.dst,
+                    "ts": hop.sent_at * _MICROS,
+                }
+            )
     document = {"displayTimeUnit": "ms", "traceEvents": events}
     json.dump(document, out, sort_keys=True, separators=(",", ":"))
     out.write("\n")

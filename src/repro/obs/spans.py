@@ -25,9 +25,28 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
+from repro.obs.metrics import _percentile
 from repro.sim.trace import KINDS, TraceRecord
 
 __all__ = ["BroadcastSpan", "ConsensusSpan", "SpanBuilder", "TxnSpan"]
+
+
+def _latency_stats(values: list[float]) -> dict[str, Any]:
+    """Latency statistics in the :meth:`MetricsRegistry.histogram_summary`
+    vocabulary (count/min/max/mean/p50/p95/p99), so span summaries and
+    metrics histograms read the same."""
+    ordered = sorted(values)
+    if not ordered:
+        return {"count": 0}
+    return {
+        "count": len(ordered),
+        "min": ordered[0],
+        "max": ordered[-1],
+        "mean": sum(ordered) / len(ordered),
+        "p50": _percentile(ordered, 0.50),
+        "p95": _percentile(ordered, 0.95),
+        "p99": _percentile(ordered, 0.99),
+    }
 
 
 def _canonical_id(value: Any) -> Any:
@@ -54,10 +73,22 @@ class ConsensusSpan:
     steps: int | None = None
     via: str | None = None
     outcome: str | None = None
+    #: :func:`repro.obs.causal.fallback_cause` annotation — the trace record
+    #: (and enclosing nemesis op, if any) that forced a multi-step decision.
+    #: Attached by :func:`repro.obs.causal.annotate_spans`, never by the
+    #: builder itself, so plain span reconstruction stays unchanged.
+    fallback_cause: dict[str, Any] | None = None
 
     @property
     def decided(self) -> bool:
         return self.decided_at is not None
+
+    @property
+    def decision_latency(self) -> float | None:
+        """Virtual time from propose to decide (None while undecided)."""
+        if self.decided_at is None or self.propose_at is None:
+            return None
+        return self.decided_at - self.propose_at
 
     @property
     def fast_path(self) -> bool:
@@ -87,7 +118,7 @@ class ConsensusSpan:
         return out
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "pid": self.pid,
             "instance": self.instance,
             "propose_at": self.propose_at,
@@ -100,6 +131,11 @@ class ConsensusSpan:
             "outcome": self.outcome,
             "fast_path": self.fast_path,
         }
+        # Only annotated spans grow the key: un-annotated dicts (and every
+        # pre-causal consumer of them) stay byte-identical.
+        if self.fallback_cause is not None:
+            data["fallback_cause"] = self.fallback_cause
+        return data
 
 
 @dataclass
@@ -296,12 +332,31 @@ class SpanBuilder:
                     "mean_latency": sum(latencies) / len(latencies),
                 }
             )
+        # Decision latency (propose -> decide) bucketed by decision path:
+        # the paper's claim is precisely that fast_path stays one δ while
+        # fallbacks pay extra steps, so the percentiles are kept per bucket.
+        by_path: dict[str, list[float]] = {}
+        for s in decided:
+            latency = s.decision_latency
+            if latency is None:
+                continue
+            if s.outcome == "forward":
+                bucket = "forwarded"
+            elif s.fast_path:
+                bucket = "fast_path"
+            else:
+                bucket = "fallback"
+            by_path.setdefault(bucket, []).append(latency)
         txn_spans = self.txn_spans()
         return {
             "instances": len(spans),
             "decided": len(decided),
             "fast_path": sum(1 for s in decided if s.fast_path),
             "forwarded": sum(1 for s in decided if s.outcome == "forward"),
+            "decision_latency": {
+                bucket: _latency_stats(values)
+                for bucket, values in sorted(by_path.items())
+            },
             "steps_histogram": dict(sorted(steps_hist.items())),
             "max_round": max((s.max_round for s in spans), default=0),
             "broadcasts": broadcast_stats,

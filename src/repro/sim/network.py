@@ -283,7 +283,12 @@ class LanDelay:
 
 @dataclass(slots=True)
 class Envelope:
-    """What the network hands to a destination node."""
+    """What the network hands to a destination node.
+
+    ``msg_id`` is the network-wide send sequence number of this message
+    (see :attr:`Network._msg_seq`); ``-1`` marks envelopes built outside
+    the network's send path (tests constructing envelopes by hand).
+    """
 
     src: int
     dst: int
@@ -291,6 +296,7 @@ class Envelope:
     channel: str
     sent_at: float
     size: int = 1
+    msg_id: int = -1
 
 
 @dataclass(frozen=True)
@@ -702,6 +708,14 @@ class Network:
         self._filters: list[LinkFilter] = []
         self._partitions: list[frozenset[int]] = []
         self._rng = sim.rng("network")
+        # Network-wide send sequence number.  Every send consumes exactly one
+        # id — including partition-blocked and filter-dropped sends, and the
+        # fan-out fast path (which bulk-advances it) — so the id of the k-th
+        # send is identical whether the run was batched or sequential, obs on
+        # or off.  Under obs the id is stamped into msg-send/msg-deliver
+        # records, giving every delivery a causal edge to its originating
+        # send (repro.obs.causal builds the DAG from those edges).
+        self._msg_seq = 0
         # Set by the obs runtime for detailed tracing (msg-send/msg-deliver
         # records); None keeps the hot path free of tracing work.
         self.obs_tracer = None
@@ -860,9 +874,15 @@ class Network:
         kind_stats[0] += 1
         kind_stats[1] += size
 
+        msg_id = self._msg_seq
+        self._msg_seq = msg_id + 1
+
         if self.obs_tracer is not None:
             self.obs_tracer.emit(
-                now, src, KINDS.MSG_SEND, {"dst": dst, "kind": kind, "channel": channel}
+                now,
+                src,
+                KINDS.MSG_SEND,
+                {"dst": dst, "kind": kind, "channel": channel, "id": msg_id},
             )
 
         if self._partitions and self._partition_blocks(src, dst):
@@ -871,7 +891,7 @@ class Network:
 
         extra = 0.0
         if self._filters:
-            envelope = Envelope(src, dst, payload, channel, now)
+            envelope = Envelope(src, dst, payload, channel, now, msg_id=msg_id)
             for fn in self._filters:
                 verdict = fn(envelope)
                 if verdict is False or verdict is None:
@@ -950,7 +970,7 @@ class Network:
             args = (src, payload)
         else:
             if envelope is None:
-                envelope = Envelope(src, dst, payload, channel, now)
+                envelope = Envelope(src, dst, payload, channel, now, msg_id=msg_id)
             fn = self._deliver_to
             args = (node, envelope)
         delay = arrival - now
@@ -1079,6 +1099,10 @@ class Network:
         kind_stats[1] += size * n
         stats.fanout_batches += 1
         stats.fanout_messages += n
+        # Bulk-advance the send sequence so the fast path consumes exactly
+        # the ids n sequential send() calls would (ids stay aligned whether
+        # or not any particular fan-out took this path).
+        self._msg_seq += n
 
         rng = self._rng
         if sample_many is not None:
@@ -1178,6 +1202,7 @@ class Network:
                     "src": envelope.src,
                     "kind": self.stats._kind_of(envelope.payload),
                     "channel": envelope.channel,
+                    "id": envelope.msg_id,
                 },
             )
         node.deliver(envelope)

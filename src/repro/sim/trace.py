@@ -43,6 +43,10 @@ class KINDS:
     LEADER_CHANGE = "leader-change"
     SUSPECT = "suspect"
     TRUST = "trust"
+    # msg-send data carries {"dst", "kind", "channel", "id"} and msg-deliver
+    # {"src", "kind", "channel", "id"}, where "id" is the network-wide send
+    # sequence number — the causal edge linking each delivery back to its
+    # originating send (consumed by repro.obs.causal).
     MSG_SEND = "msg-send"
     MSG_DELIVER = "msg-deliver"
     RSM_APPLY = "rsm-apply"

@@ -1,0 +1,341 @@
+"""Causal message-flow graph and decision critical-path tests.
+
+The tentpole contract: every observed delivery names its originating send
+(the network's per-send sequence number), the critical path of a decision
+is the latest-arrival chain from propose to decide, and a fallback decision
+names the trace record — and, when a nemesis schedule is attached, the
+*scheduled op* — that forced the extra step.  All of it read-only: same
+seed, same trace bytes, with or without the analysis, batched or not.
+"""
+
+import io
+import json
+
+from repro.core.lconsensus import LConsensus
+from repro.engine import AbcastRunSpec
+from repro.engine.runner import run_abcast_spec
+from repro.harness.consensus_runner import (
+    derive_omega,
+    heartbeat_fd_factory,
+    run_consensus,
+)
+from repro.nemesis import NemesisSpec, PartitionOp
+from repro.obs import (
+    CausalGraph,
+    ObsRuntime,
+    SpanBuilder,
+    annotate_spans,
+    causal_summary,
+    critical_path,
+    critical_paths,
+    export_chrome,
+    export_jsonl,
+)
+
+
+def observed_abcast(seed=1, nemesis=None, batch=True):
+    """One obs-on abcast run; returns (spec, ObsRuntime with the records)."""
+    spec = AbcastRunSpec(
+        protocol="cabcast-l",
+        rate=100.0,
+        duration=0.3,
+        seed=seed,
+        drain=2.0,
+        obs=True,
+        batch=batch,
+        nemesis=nemesis,
+        require_all_delivered=nemesis is None,
+    )
+    obs = ObsRuntime.from_spec(spec)
+    run_abcast_spec(spec, tracer=obs.tracer, obs=obs)
+    return spec, obs
+
+
+def export_bytes(records, spec, writer=export_jsonl):
+    out = io.StringIO()
+    writer(records, out, spec=spec.to_dict())
+    return out.getvalue()
+
+
+PARTITION = NemesisSpec(
+    (PartitionOp(at=0.05, duration=0.1, groups=((0,), (1, 2, 3))),)
+)
+
+
+def leader_partition_run(seed=21):
+    """L-Consensus n=4, equal proposals, leader p0 cut off from the start.
+
+    The heartbeat detector genuinely suspects the unreachable leader, Ω
+    moves, and the line-3 escape sends p1-3 to round 2 — a two-step decide
+    whose root cause is the scheduled partition.
+    """
+    obs = ObsRuntime()
+    nemesis = NemesisSpec(
+        (PartitionOp(at=0.0, duration=0.5, groups=((1, 2, 3), (0,))),)
+    )
+    result = run_consensus(
+        lambda pid, env, oracle, host: LConsensus(env, derive_omega(host)),
+        {p: "v" for p in range(4)},
+        seed=seed,
+        fd_factory=heartbeat_fd_factory(period=2e-3, initial_timeout=8e-3),
+        nemesis=nemesis,
+        horizon=5.0,
+        require_all_alive_decide=False,
+        obs=obs,
+    )
+    return result, obs
+
+
+class TestCausalGraph:
+    def test_records_and_rows_build_identical_graphs(self):
+        spec, obs = observed_abcast()
+        from_records = CausalGraph.from_records(obs.tracer.records)
+        header, rows = load_trace_string(export_bytes(obs.tracer.records, spec))
+        from_rows = CausalGraph.from_rows(rows)
+        assert from_records.sends == from_rows.sends
+        assert from_records.delivers == from_rows.delivers
+        assert from_records.flows() == from_rows.flows()
+
+    def test_every_delivery_names_a_live_send(self):
+        _, obs = observed_abcast()
+        graph = CausalGraph.from_records(obs.tracer.records)
+        assert graph.delivers, "obs run produced no causal edges"
+        assert not graph.orphan_delivers
+        for msg_id, deliver in graph.delivers.items():
+            send = graph.sends[msg_id]
+            assert send.dst == deliver.dst
+            assert send.src == deliver.src
+            assert send.time <= deliver.time
+
+    def test_msg_ids_deterministic_across_same_seed_runs(self):
+        _, first = observed_abcast(seed=3)
+        _, second = observed_abcast(seed=3)
+        assert (
+            CausalGraph.from_records(first.tracer.records).flows()
+            == CausalGraph.from_records(second.tracer.records).flows()
+        )
+
+    def test_partition_drops_count_as_unmatched_sends(self):
+        _, clean = observed_abcast(seed=2)
+        _, cut = observed_abcast(seed=2, nemesis=PARTITION)
+        assert CausalGraph.from_records(clean.tracer.records).unmatched_sends == 0
+        assert CausalGraph.from_records(cut.tracer.records).unmatched_sends > 0
+
+
+def load_trace_string(text):
+    lines = [json.loads(line) for line in text.splitlines() if line.strip()]
+    return lines[0], lines[1:]
+
+
+class TestCriticalPath:
+    def test_gating_hop_ends_at_decider_and_chain_is_causal(self):
+        _, obs = observed_abcast()
+        builder = SpanBuilder().add_records(obs.tracer.records)
+        graph = CausalGraph.from_records(obs.tracer.records)
+        paths = critical_paths(builder, graph)
+        decided = [s for s in builder.consensus_spans() if s.decided]
+        assert len(paths) == len(decided) > 0
+        for path in paths:
+            assert path.hops, "decided instance with unresolvable path"
+            gating = path.gating
+            assert gating.dst == path.pid
+            assert gating.delivered_at <= path.decided_at
+            for earlier, later in zip(path.hops, path.hops[1:]):
+                assert earlier.dst == later.src
+                assert earlier.delivered_at <= later.sent_at
+            assert path.network_time <= path.decided_at - path.hops[0].sent_at
+
+    def test_undecided_span_yields_no_path(self):
+        result, obs = leader_partition_run()
+        builder = SpanBuilder().add_records(obs.tracer.records)
+        graph = CausalGraph.from_records(obs.tracer.records)
+        (stalled,) = [s for s in builder.consensus_spans() if s.pid == 0]
+        assert not stalled.decided
+        assert critical_path(stalled, graph) is None
+
+    def test_partition_during_voting_window_names_partition_op(self):
+        # The acceptance pin: the partitioned leader forces a two-step
+        # decide and the critical path names the partition op as cause.
+        result, obs = leader_partition_run()
+        assert {p: v for p, v in result.decisions.items()} == {
+            1: "v", 2: "v", 3: "v"
+        }
+        builder = SpanBuilder().add_records(obs.tracer.records)
+        graph = CausalGraph.from_records(obs.tracer.records)
+        paths = critical_paths(builder, graph)
+        assert [p.pid for p in paths] == [1, 2, 3]
+        for path in paths:
+            assert path.steps == 2 and path.via == "round"
+            cause = path.cause
+            # Proximate trigger: this process's own suspicion of p0 ...
+            assert cause["kind"] == "suspect"
+            assert cause["pid"] == path.pid
+            assert cause["data"] == {"suspect": 0}
+            # ... attributed to the scheduled partition window.
+            assert cause["op"]["op"] == "partition"
+            assert cause["op"]["groups"] == [[1, 2, 3], [0]]
+            assert cause["op_index"] == 0
+
+    def test_annotate_spans_attaches_cause_only_to_fallback_decisions(self):
+        _, obs = leader_partition_run()
+        builder = SpanBuilder().add_records(obs.tracer.records)
+        graph = CausalGraph.from_records(obs.tracer.records)
+        annotate_spans(builder, graph)
+        for span in builder.consensus_spans():
+            if span.decided and span.steps > 1:
+                assert span.fallback_cause["op"]["op"] == "partition"
+                assert span.to_dict()["fallback_cause"] == span.fallback_cause
+            else:
+                assert span.fallback_cause is None
+                assert "fallback_cause" not in span.to_dict()
+
+    def test_fast_path_spans_never_annotated(self):
+        _, obs = observed_abcast()
+        builder = SpanBuilder().add_records(obs.tracer.records)
+        annotate_spans(builder, CausalGraph.from_records(obs.tracer.records))
+        assert all(
+            "fallback_cause" not in span.to_dict()
+            for span in builder.consensus_spans()
+            if span.fast_path
+        )
+
+
+class TestCausalSummary:
+    def test_summary_aggregates_paths_and_causes(self):
+        _, obs = leader_partition_run()
+        spec = AbcastRunSpec(protocol="cabcast-l", rate=1.0, duration=0.1)
+        _, rows = load_trace_string(export_bytes(obs.tracer.records, spec))
+        summary = causal_summary(rows)
+        assert summary["paths"] == summary["resolved"] == 3
+        assert summary["causes"] == {"op:partition": 3}
+        assert summary["max_hops"] >= 2
+        assert summary["mean_latency"] > 0
+        assert summary["mean_network_time"] > 0
+        assert summary["orphan_delivers"] == 0
+
+    def test_clean_run_has_no_causes(self):
+        spec, obs = observed_abcast()
+        _, rows = load_trace_string(export_bytes(obs.tracer.records, spec))
+        summary = causal_summary(rows)
+        assert summary["paths"] == summary["resolved"] > 0
+        assert summary["causes"] == {}
+        assert summary["unmatched_sends"] == 0
+
+
+class TestByteIdentity:
+    """Causal obs composed with nemesis stays deterministic and read-only."""
+
+    def test_same_seed_nemesis_exports_identical(self):
+        runs = [observed_abcast(seed=5, nemesis=PARTITION) for _ in range(2)]
+        jsonl = [export_bytes(obs.tracer.records, spec) for spec, obs in runs]
+        chrome = [
+            export_bytes(obs.tracer.records, spec, writer=export_chrome)
+            for spec, obs in runs
+        ]
+        assert jsonl[0] == jsonl[1]
+        assert chrome[0] == chrome[1]
+
+    def test_batched_and_sequential_kernels_export_identically(self):
+        # Headers differ (the spec records its batch flag); every trace row
+        # — msg ids included — must not.
+        spec_b, batched = observed_abcast(seed=6, nemesis=PARTITION, batch=True)
+        spec_s, sequential = observed_abcast(seed=6, nemesis=PARTITION, batch=False)
+        rows = lambda obs, spec: export_bytes(
+            obs.tracer.records, spec
+        ).splitlines()[1:]
+        assert rows(batched, spec_b) == rows(sequential, spec_s)
+
+    def test_consensus_same_seed_spans_and_paths_identical(self):
+        first = leader_partition_run()
+        second = leader_partition_run()
+        to_dicts = lambda obs: [
+            span.to_dict()
+            for span in SpanBuilder().add_records(obs.tracer.records).consensus_spans()
+        ]
+        assert to_dicts(first[1]) == to_dicts(second[1])
+        paths = lambda obs: [
+            p.to_dict()
+            for p in critical_paths(
+                SpanBuilder().add_records(obs.tracer.records),
+                CausalGraph.from_records(obs.tracer.records),
+            )
+        ]
+        assert paths(first[1]) == paths(second[1])
+
+
+class TestChromeFlowEvents:
+    def test_flow_pairs_and_critical_path_slices_emitted(self):
+        spec, obs = observed_abcast(seed=1, nemesis=PARTITION)
+        document = json.loads(
+            export_bytes(obs.tracer.records, spec, writer=export_chrome)
+        )
+        events = document["traceEvents"]
+        starts = [e for e in events if e.get("ph") == "s"]
+        finishes = [e for e in events if e.get("ph") == "f"]
+        assert starts and len(starts) == len(finishes)
+        assert {e["cat"] for e in starts} == {"msg"}
+        assert all(e.get("bp") == "e" for e in finishes)
+        assert {e["id"] for e in starts} == {e["id"] for e in finishes}
+        slices = [
+            e for e in events
+            if e.get("ph") == "X" and str(e.get("name", "")).startswith("critical-path")
+        ]
+        assert slices
+        for entry in slices:
+            assert {"hops", "steps", "via", "network_time_us"} <= set(entry["args"])
+
+    def test_trace_without_msg_ids_emits_no_flow_events(self):
+        # Pre-causal exports (or hand-built records) degrade gracefully.
+        spec, obs = observed_abcast(seed=1)
+        stripped = []
+        for time, pid, kind, data in (
+            json.loads(line)
+            for line in export_bytes(obs.tracer.records, spec).splitlines()[1:]
+        ):
+            if isinstance(data, dict):
+                data = {k: v for k, v in data.items() if k != "id"}
+            stripped.append([time, pid, kind, data])
+        document = json.loads(rows_to_chrome_string(stripped, spec))
+        events = document["traceEvents"]
+        assert not [e for e in events if e.get("ph") in ("s", "f")]
+        assert not [
+            e for e in events
+            if e.get("ph") == "X" and str(e.get("name", "")).startswith("critical-path")
+        ]
+
+
+def rows_to_chrome_string(rows, spec):
+    """Chrome-export rows that came back off disk (id-less legacy traces)."""
+    from repro.sim.trace import TraceRecord
+
+    records = [TraceRecord(time, pid, kind, data) for time, pid, kind, data in rows]
+    out = io.StringIO()
+    export_chrome(records, out, spec=spec.to_dict())
+    return out.getvalue()
+
+
+class TestFlightRecorderOnReplay:
+    def test_trial_failures_carry_flight_record(self, monkeypatch):
+        # The fuzzer forces the flight recorder on for every trial, so a
+        # finding's error arrives with its per-pid black box attached.
+        from repro.harness.registry import CONSENSUS, PROTOCOLS, ProtocolInfo
+        from repro.nemesis.fuzz import _run_trial, _trial_spec
+        from repro.nemesis.spec import CrashOp
+
+        from tests.test_fault_injection import GreedyLConsensus
+        from tests.test_fuzz import greedy_spec
+
+        registry = dict(PROTOCOLS)
+        registry["greedy-l"] = ProtocolInfo(
+            "greedy-l",
+            CONSENSUS,
+            lambda pid, env, oracle, host: GreedyLConsensus(env, oracle.omega(pid)),
+            description="naive one-step (Theorem 1 violation)",
+        )
+        monkeypatch.setattr("repro.harness.registry.PROTOCOLS", registry)
+
+        schedule = NemesisSpec((CrashOp(at=0.002, pid=0),))
+        _, err = _run_trial(_trial_spec(greedy_spec(), schedule))
+        assert err is not None
+        dump = err.flight_record
+        assert dump and any(dump.values())

@@ -378,6 +378,86 @@ class TestTraceCli:
         assert main(["trace", "summary", str(path), "--strict"]) == 1
 
 
+class TestCausalAndWarehouseCli:
+    """``trace critical-path``, prefix-aware ``diff`` and the ``obs`` group."""
+
+    NEMESIS_EXPORT = [
+        "trace", "export", "--protocol", "cabcast-l", "--rate", "100",
+        "--duration", "0.3", "--seed", "1",
+        "--partition", "0.05:0.1:0/1,2,3",
+    ]
+
+    def test_critical_path_strict_on_nemesis_export(self, tmp_path, capsys):
+        # The CI obs-causal smoke contract: a partition run exports flow
+        # events and every decided instance resolves a critical path.
+        path = tmp_path / "nem.jsonl"
+        assert main([*self.NEMESIS_EXPORT, "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "critical-path", str(path), "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "hop(s)" in out and "on the wire" in out
+
+    def test_critical_path_json_output(self, tmp_path, capsys):
+        path = tmp_path / "nem.jsonl"
+        assert main([*self.NEMESIS_EXPORT, "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "critical-path", str(path), "--json"]) == 0
+        paths = json.loads(capsys.readouterr().out)
+        assert paths and all(p["hops"] for p in paths)
+
+    def test_nemesis_chrome_export_has_flow_events(self, tmp_path, capsys):
+        path = tmp_path / "nem.chrome.json"
+        assert main(
+            [*self.NEMESIS_EXPORT, "--format", "chrome", "--out", str(path)]
+        ) == 0
+        capsys.readouterr()
+        events = json.loads(path.read_text())["traceEvents"]
+        assert [e for e in events if e.get("ph") == "s" and e.get("cat") == "msg"]
+        assert [e for e in events if e.get("ph") == "f" and e.get("bp") == "e"]
+
+    def test_diff_reports_strict_prefix_with_trailing_count(self, tmp_path, capsys):
+        full, prefix = tmp_path / "full.jsonl", tmp_path / "prefix.jsonl"
+        assert main([*self.NEMESIS_EXPORT, "--out", str(full)]) == 0
+        lines = full.read_text().splitlines()
+        prefix.write_text("\n".join(lines[:-5]) + "\n")
+        capsys.readouterr()
+        assert main(["trace", "diff", str(prefix), str(full)]) == 1
+        out = capsys.readouterr().out
+        assert f"traces agree on the first {len(lines) - 6} records" in out
+        assert "right has 5 extra trailing record(s)" in out
+        assert "first extra (right)" in out
+
+    def test_obs_record_report_compare_round_trip(self, tmp_path, capsys):
+        # The CI warehouse contract: two same-seed recordings are
+        # byte-identical and compare clean.
+        store = str(tmp_path / "wh.jsonl")
+        record = ["obs", "record", "--warehouse", store, "--protocol",
+                  "cabcast-l", "--rate", "100", "--duration", "0.3",
+                  "--seed", "2"]
+        assert main(record) == 0
+        assert main(record) == 0
+        lines = (tmp_path / "wh.jsonl").read_text().splitlines()
+        assert len(lines) == 2 and lines[0] == lines[1]
+        capsys.readouterr()
+        assert main(["obs", "report", store]) == 0
+        assert "cabcast-l" in capsys.readouterr().out
+        assert main(["obs", "compare", store]) == 0
+        assert "no latency regression" in capsys.readouterr().out
+
+    def test_obs_compare_flags_regression(self, tmp_path, capsys):
+        store = str(tmp_path / "wh.jsonl")
+        base = ["obs", "record", "--warehouse", store, "--protocol",
+                "cabcast-l", "--duration", "0.3", "--seed", "2"]
+        assert main([*base, "--rate", "100"]) == 0
+        assert main([*base, "--rate", "900"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "compare", store]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.err
+        # A widened tolerance lets the same pair through.
+        assert main(["obs", "compare", store, "--tolerance", "9"]) == 0
+
+
 class TestFuzzCli:
     """``repro fuzz``: bounded smoke campaign and repro replay."""
 

@@ -138,6 +138,37 @@ class TestConsensusSpans:
             s.to_dict() for s in replayed.consensus_spans()
         ]
 
+    def test_summary_buckets_decision_latency_per_via(self):
+        # Satellite contract: the span summary speaks the same percentile
+        # vocabulary as MetricsRegistry histograms, bucketed by decision
+        # path (fast-path vs fallback).
+        spec = ConsensusRunSpec(
+            protocol="l-consensus", proposals=("a", "b", "c", "d"), seed=0, obs=True
+        )
+        obs = ObsRuntime.from_spec(spec)
+        run_consensus_spec(spec, tracer=obs.tracer, obs=obs)
+        buckets = SpanBuilder().add_records(obs.tracer.records).summary()[
+            "decision_latency"
+        ]
+        assert set(buckets) == {"fallback"}
+        stats = buckets["fallback"]
+        assert set(stats) == {"count", "min", "max", "mean", "p50", "p95", "p99"}
+        assert stats["count"] == 4
+        assert 0 < stats["min"] <= stats["p50"] <= stats["p95"] <= stats["p99"]
+        assert stats["p99"] <= stats["max"]
+
+    def test_report_latency_summary_shares_the_vocabulary(self):
+        from repro.engine.runner import execute_run
+
+        spec = AbcastRunSpec(
+            protocol="cabcast-l", rate=100.0, duration=0.3, seed=1, drain=2.0
+        )
+        report = execute_run(spec)
+        summary = report.latency_summary_dict()
+        assert set(summary) == {"count", "min", "max", "mean", "p50", "p95", "p99"}
+        assert summary["count"] == report.summary.count
+        assert summary["p95"] == report.summary.p95
+
     def test_phase_breakdown_covers_propose_to_decide(self):
         spec = ConsensusRunSpec(
             protocol="l-consensus", proposals=("v", "v", "v", "v"), seed=0, obs=True
