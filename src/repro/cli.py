@@ -225,6 +225,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="crash replica PID at TIME seconds (repeatable)",
     )
     p_rsm.add_argument(
+        "--parallel",
+        action="store_true",
+        help="conservative-parallel execution: one kernel per shard group",
+    )
+    p_rsm.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes for --parallel (default: 1 process)",
+    )
+    p_rsm.add_argument(
         "--json",
         dest="json_out",
         action="store_true",
@@ -406,6 +418,27 @@ def build_parser() -> argparse.ArgumentParser:
     o_record.add_argument(
         "--label", default=None, help="free-form tag stored with the entry"
     )
+    o_record.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="record an RSM service run over N consensus groups instead of "
+             "plain abcast (enables --parallel/--workers)",
+    )
+    o_record.add_argument(
+        "--clients", type=int, default=4, help="client sessions (with --shards)"
+    )
+    o_record.add_argument(
+        "--parallel",
+        action="store_true",
+        help="conservative-parallel execution (with --shards; adds the "
+             "parallel_speedup distillation to the entry)",
+    )
+    o_record.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="worker processes for --parallel",
+    )
     _add_nemesis_args(o_record)
 
     o_report = obs_sub.add_parser("report", help="tabulate a warehouse file")
@@ -566,6 +599,8 @@ def _cmd_rsm(args: argparse.Namespace) -> int:
             txn_rate=args.txn_rate,
             txn_keys=args.txn_keys,
         )
+    if args.parallel or args.workers:
+        extra.update(parallel=args.parallel, workers=args.workers)
     spec = RsmRunSpec(
         protocol=args.protocol,
         rate=args.rate,
@@ -599,6 +634,13 @@ def _cmd_rsm(args: argparse.Namespace) -> int:
     else:
         print(f"protocol : {args.protocol} (n={args.n}, {args.clients} sessions, "
               f"{args.workload}-loop {args.rate:.0f} ops/s)")
+    parallel = rsm.get("parallel")
+    if parallel:
+        print(f"parallel : {parallel['partitions']} partition kernels on "
+              f"{parallel['workers'] or 1} worker(s), "
+              f"{parallel['cross_messages']} cross / "
+              f"{parallel['null_messages']} null messages, "
+              f"speedup bound {parallel['speedup_bound']:.2f}x")
     print(f"committed: {rsm['committed']} commands "
           f"({rsm['ops_per_s']:.0f} ops/s in the window)")
     if latency is not None:
@@ -1136,24 +1178,43 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _obs_record(args: argparse.Namespace) -> int:
-    from repro.engine import RunContext
+    from repro.engine import RsmRunSpec, RunContext, TopologySpec
     from repro.engine.runner import execute_run
     from repro.obs import ObsRuntime, Warehouse, build_entry
 
     nemesis = _parse_nemesis(args)
-    spec = AbcastRunSpec(
-        protocol=args.protocol,
-        rate=args.rate,
-        duration=args.duration,
-        n=args.n,
-        seed=args.seed,
-        drain=2.0,
-        cluster=PAPER_LAN,
-        crash_at=_parse_crashes(args.crash),
-        obs=True,
-        nemesis=nemesis,
-        require_all_delivered=nemesis is None,
-    )
+    if args.shards:
+        # RSM service run — report.rsm feeds the warehouse's ops/latency
+        # subset and (with --parallel) the parallel_speedup distillation.
+        spec = RsmRunSpec(
+            protocol=args.protocol,
+            rate=args.rate,
+            duration=args.duration,
+            n=args.n,
+            clients=args.clients,
+            seed=args.seed,
+            cluster=PAPER_LAN,
+            crash_at=_parse_crashes(args.crash),
+            obs=True,
+            nemesis=nemesis,
+            topology=TopologySpec(groups=args.shards),
+            parallel=args.parallel,
+            workers=args.workers,
+        )
+    else:
+        spec = AbcastRunSpec(
+            protocol=args.protocol,
+            rate=args.rate,
+            duration=args.duration,
+            n=args.n,
+            seed=args.seed,
+            drain=2.0,
+            cluster=PAPER_LAN,
+            crash_at=_parse_crashes(args.crash),
+            obs=True,
+            nemesis=nemesis,
+            require_all_delivered=nemesis is None,
+        )
     obs = ObsRuntime.from_spec(spec)
     ctx = RunContext(tracer=obs.tracer, obs=obs)
     report = execute_run(spec, ctx=ctx)

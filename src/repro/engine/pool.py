@@ -135,7 +135,9 @@ def plan_chunks(
     return chunks
 
 
-def run_chunk(chunk: list[tuple[int, object]]) -> list[tuple[int, str, bytes]]:
+def run_chunk(
+    chunk: list[tuple[int, object]], workers_cap: int | None = None
+) -> list[tuple[int, str, bytes]]:
     """Worker entry point: execute each spec, return canonical JSON bytes.
 
     Returns one ``(index, status, payload)`` triple per cell — ``("ok",
@@ -151,6 +153,11 @@ def run_chunk(chunk: list[tuple[int, object]]) -> list[tuple[int, str, bytes]]:
     onto the serial kernel/network paths (``batch=False``) for A/B
     debugging.  Reports are byte-identical either way, and the parent keys
     the cache by its own copy of the spec, so cache keys are unaffected.
+
+    ``workers_cap`` bounds how many processes a conservative-parallel cell
+    may spawn of its own (the sweep scheduler's share of the CPU budget).
+    It is an execution parameter, never merged into the spec: clamping a
+    cell must not change its cache key or any deterministic output.
     """
     from dataclasses import replace
 
@@ -162,7 +169,7 @@ def run_chunk(chunk: list[tuple[int, object]]) -> list[tuple[int, str, bytes]]:
         try:
             if force_serial and getattr(spec, "batch", True):
                 spec = replace(spec, batch=False)
-            report = execute_run(spec)
+            report = execute_run(spec, workers_cap=workers_cap)
         except Exception as exc:  # noqa: BLE001 - reported to the parent
             message = f"{type(exc).__name__}: {exc}"
             out.append((index, "err", message.encode("utf-8")))
@@ -197,8 +204,10 @@ class WorkerPool:
         """True once a worker died and the executor can't accept work."""
         return bool(getattr(self._executor, "_broken", False))
 
-    def submit_chunk(self, chunk: list[tuple[int, object]]) -> Future:
-        return self._executor.submit(run_chunk, chunk)
+    def submit_chunk(
+        self, chunk: list[tuple[int, object]], workers_cap: int | None = None
+    ) -> Future:
+        return self._executor.submit(run_chunk, chunk, workers_cap)
 
     def warm(self) -> None:
         """Spawn (and warm-import) every worker now rather than lazily."""

@@ -131,13 +131,18 @@ def run_rsm_spec(
     tracer: Tracer | None = None,
     obs=None,
     ctx: RunContext | None = None,
+    workers_cap: int | None = None,
 ):
     """Execute one RSM service spec; returns an ``RsmRunResult`` (or a
     ``ShardedRsmRunResult`` when the spec's topology asks for shards or the
-    workload includes cross-shard transactions)."""
+    workload includes cross-shard transactions).  ``workers_cap`` bounds the
+    conservative-parallel path's worker processes — an execution knob, never
+    part of the spec or its cache key."""
     from repro.rsm.runner import run_rsm
 
-    return run_rsm(spec, ctx=RunContext.resolve(ctx, tracer, obs))
+    return run_rsm(
+        spec, ctx=RunContext.resolve(ctx, tracer, obs), workers_cap=workers_cap
+    )
 
 
 def _obs_runtime(spec, tracer: Tracer):
@@ -179,6 +184,7 @@ def execute_run(
     spec: AbcastRunSpec | RsmRunSpec,
     collect_perf: bool = False,
     ctx: RunContext | None = None,
+    workers_cap: int | None = None,
 ) -> RunReport:
     """Run one spec to completion and distil it into a :class:`RunReport`.
 
@@ -190,13 +196,18 @@ def execute_run(
 
     ``ctx`` lets a caller supply the run's :class:`RunContext` and keep hold
     of the tracer afterwards — ``repro obs record`` uses this to fold the
-    trace into a warehouse entry alongside the report.  Only abcast specs
-    accept an external context (RSM runs build their own).
+    trace into a warehouse entry alongside the report.  A ctx without a
+    tracer is rejected for RSM specs (the report's trace counts and commit
+    latencies come from it).
     """
     if isinstance(spec, RsmRunSpec):
-        if ctx is not None:
-            raise ConfigurationError("execute_run(ctx=...) only supports abcast specs")
-        return _execute_rsm_run(spec, collect_perf=collect_perf)
+        if ctx is not None and ctx.tracer is None:
+            raise ConfigurationError(
+                "execute_run(ctx=...) for an RSM spec needs a ctx with a tracer"
+            )
+        return _execute_rsm_run(
+            spec, collect_perf=collect_perf, workers_cap=workers_cap, ctx=ctx
+        )
     if ctx is None:
         tracer = Tracer()
         ctx = RunContext(tracer=tracer, obs=_obs_runtime(spec, tracer))
@@ -237,12 +248,20 @@ def execute_run(
     )
 
 
-def _execute_rsm_run(spec: RsmRunSpec, collect_perf: bool = False) -> RunReport:
+def _execute_rsm_run(
+    spec: RsmRunSpec,
+    collect_perf: bool = False,
+    workers_cap: int | None = None,
+    ctx: RunContext | None = None,
+) -> RunReport:
     """Run one RSM spec into a :class:`RunReport` with an ``rsm`` section."""
     from repro.rsm.runner import service_metrics, window_commit_latencies
 
-    tracer = Tracer()
-    ctx = RunContext(tracer=tracer, obs=_obs_runtime(spec, tracer))
+    if ctx is None:
+        tracer = Tracer()
+        ctx = RunContext(tracer=tracer, obs=_obs_runtime(spec, tracer))
+    else:
+        tracer = ctx.tracer
     obs = ctx.obs
     perf = None
     if collect_perf:
@@ -251,17 +270,19 @@ def _execute_rsm_run(spec: RsmRunSpec, collect_perf: bool = False) -> RunReport:
         from repro.perf import collect
 
         wall_start = perf_counter()
-        result = run_rsm_spec(spec, ctx=ctx)
+        result = run_rsm_spec(spec, ctx=ctx, workers_cap=workers_cap)
         wall_seconds = perf_counter() - wall_start
+        stats = getattr(result, "parallel_stats", None)
         perf = collect(
             result.sim,
             wall_seconds=wall_seconds,
             network_stats=result.network_stats,
             nodes=result.nodes,
             trace_counts=tracer.counts(),
+            parallel=stats.to_dict() if stats is not None else None,
         ).to_dict()
     else:
-        result = run_rsm_spec(spec, ctx=ctx)
+        result = run_rsm_spec(spec, ctx=ctx, workers_cap=workers_cap)
     offered, latencies = window_commit_latencies(result)
     return RunReport(
         spec=spec,
@@ -380,6 +401,32 @@ def run_sweep(
             notes.append(f"jobs clamped from {jobs} to {cpus} available CPU(s)")
             jobs = cpus
 
+    # Nested parallelism: a conservative-parallel cell spawns spec.workers
+    # processes of its own.  Clamp the per-cell width so jobs × workers never
+    # oversubscribes the schedulable CPUs — an execution cap only, threaded
+    # beside the spec, so cache keys and deterministic outputs are untouched.
+    workers_cap: int | None = None
+    if jobs > 1:
+        max_workers = max(
+            (
+                spec.workers or 1
+                for spec in specs
+                if getattr(spec, "parallel", False)
+            ),
+            default=1,
+        )
+        cpus = available_cpus()
+        if jobs * max_workers > cpus:
+            workers_cap = max(1, cpus // jobs)
+            if workers_cap < max_workers:
+                notes.append(
+                    f"per-cell workers clamped to {workers_cap} so that "
+                    f"{jobs} jobs × {max_workers} workers fit "
+                    f"{cpus} available CPU(s)"
+                )
+            else:
+                workers_cap = None
+
     store = _as_cache(cache)
     total = len(specs)
     reports: list[RunReport | None] = [None] * total
@@ -400,12 +447,14 @@ def run_sweep(
 
     if pending:
         if jobs > 1 and len(pending) > 1:
-            _run_parallel(pending, jobs, reports, store, progress, hits, total)
+            _run_parallel(
+                pending, jobs, reports, store, progress, hits, total, workers_cap
+            )
         else:
             done = hits
             for index, spec in pending:
                 try:
-                    report = execute_run(spec)
+                    report = execute_run(spec, workers_cap=workers_cap)
                 except Exception as exc:
                     raise SweepError(
                         [(spec.cache_key(), f"{type(exc).__name__}: {exc}")]
@@ -433,6 +482,7 @@ def _run_parallel(
     progress: ProgressCallback | None,
     hits: int,
     total: int,
+    workers_cap: int | None = None,
 ) -> None:
     """Fan ``pending`` cells over the shared pool, streaming results in.
 
@@ -455,7 +505,7 @@ def _run_parallel(
         chunk = next(chunk_iter, None)
         if chunk is None:
             break
-        in_flight[pool.submit_chunk(chunk)] = chunk
+        in_flight[pool.submit_chunk(chunk, workers_cap=workers_cap)] = chunk
 
     by_index = dict(pending)
     failures: list[tuple[str, str]] = []
@@ -485,7 +535,9 @@ def _run_parallel(
             if not failures:
                 chunk = next(chunk_iter, None)
                 if chunk is not None:
-                    in_flight[pool.submit_chunk(chunk)] = chunk
+                    in_flight[pool.submit_chunk(chunk, workers_cap=workers_cap)] = (
+                        chunk
+                    )
     if failures:
         raise SweepError(failures)
 

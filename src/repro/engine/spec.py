@@ -519,6 +519,12 @@ class RsmRunSpec:
     #: Kernel-level batched execution (unrelated to the RSM's command
     #: batching knobs ``batch_max``/``batch_delay`` above).
     batch: bool = True
+    #: Conservative-parallel execution: one kernel per shard group (see
+    #: :mod:`repro.rsm.parallel`).  ``workers`` is the worker-process count
+    #: (0 means "decide at run time": 1 process).  Both serialize only when
+    #: set, so existing specs keep their exact cache keys.
+    parallel: bool = False
+    workers: int = 0
     nemesis: NemesisSpec | None = None
 
     def __post_init__(self) -> None:
@@ -527,6 +533,18 @@ class RsmRunSpec:
         if self.workload not in ("open", "closed"):
             raise ConfigurationError(f"unknown workload {self.workload!r}")
         _validate_obs(self)
+        if self.workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {self.workers}")
+        if self.workers and not self.parallel:
+            raise ConfigurationError(
+                "workers is set but parallel is off; set parallel=True "
+                "(or drop workers)"
+            )
+        if self.parallel and self.txn_clients > 0:
+            raise ConfigurationError(
+                "parallel execution requires txn_clients == 0: cross-shard "
+                "2PC sessions would span partition boundaries"
+            )
         if self.n < 2:
             raise ConfigurationError("an RSM service needs at least two replicas")
         if self.clients < 1:
@@ -612,6 +630,13 @@ class RsmRunSpec:
             body["txn_clients"] = self.txn_clients
             body["txn_rate"] = self.txn_rate
             body["txn_keys"] = self.txn_keys
+        # Parallel execution is a different (still deterministic) sample of
+        # the workload — per-shard RNG streams instead of one shared kernel
+        # stream — so it must cache separately; serial specs keep their
+        # exact pre-parallel dict form and cache keys.
+        if self.parallel or self.workers:
+            body["parallel"] = self.parallel
+            body["workers"] = self.workers
         return _append_nemesis(self, _append_batch(self, _append_obs(self, body)))
 
     @classmethod
@@ -645,6 +670,8 @@ class RsmRunSpec:
             obs_metrics_interval=data.get("obs_metrics_interval", 0.0),
             obs_flight_recorder=data.get("obs_flight_recorder", 0),
             batch=data.get("batch", True),
+            parallel=data.get("parallel", False),
+            workers=data.get("workers", 0),
             nemesis=_decode_nemesis(data),
         )
 

@@ -87,6 +87,7 @@ def collect(
     network_stats: Mapping[str, Any] | None = None,
     nodes: Mapping[int, Any] | None = None,
     trace_counts: Mapping[str, int] | None = None,
+    parallel: Mapping[str, Any] | None = None,
     profile: tuple[str, ...] | None = None,
 ) -> PerfReport:
     """Distil a finished run into a :class:`PerfReport`.
@@ -106,6 +107,13 @@ def collect(
         counts and CPU-model busy time.
     trace_counts:
         Per-kind record counts from :meth:`~repro.sim.trace.Tracer.counts`.
+    parallel:
+        A :meth:`~repro.sim.parallel.ParallelStats.to_dict` dict for
+        conservative-parallel runs: partitions, *actual* workers used,
+        window/null-message/lookahead-stall counts and the wall-clock time
+        the parent spent blocked on straggler partitions.  (The spec-level
+        ``workers`` request lives in the deterministic report sections;
+        this component records what execution really did.)
     profile:
         Pre-formatted profiler output from :func:`profile_call`, if any.
     """
@@ -151,6 +159,8 @@ def collect(
         }
     if trace_counts is not None:
         components["trace"] = dict(trace_counts)
+    if parallel is not None:
+        components["parallel"] = dict(parallel)
     safe_wall = wall_seconds if wall_seconds > 0.0 else float("inf")
     return PerfReport(
         wall_seconds=wall_seconds,
@@ -246,6 +256,25 @@ def format_perf(perf: Mapping[str, Any]) -> str:
                 f"busy {counters['busy_time']:.3f} s "
                 f"({counters['utilization']:.0%} util)"
             )
+    parallel = components.get("parallel")
+    if parallel:
+        lookahead = parallel.get("lookahead")
+        lines.append(
+            f"parallel : {parallel['partitions']} partition(s) on "
+            f"{parallel['workers']} worker(s), {parallel['windows']:,} "
+            f"window(s)"
+            + (f" of {lookahead:g} s lookahead" if lookahead else "")
+        )
+        lines.append(
+            f"  sync   : {parallel['cross_messages']:,} cross-partition "
+            f"message(s), {parallel['null_messages']:,} null message(s), "
+            f"{parallel['lookahead_stalls']:,} lookahead stall(s), "
+            f"blocked {parallel['blocked_time']:.3f} s on stragglers"
+        )
+        events = parallel.get("events_by_partition") or []
+        if events:
+            spread = ", ".join(f"{count:,}" for count in events)
+            lines.append(f"  events : per partition {spread}")
     trace = components.get("trace")
     if trace:
         ranked = sorted(trace.items(), key=lambda kv: (-kv[1], kv[0]))

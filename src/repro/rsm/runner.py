@@ -95,7 +95,9 @@ def _build_arrivals(spec: RsmRunSpec, session: int) -> list[float]:
         plan.append(t)
 
 
-def run_rsm(spec: RsmRunSpec, tracer=None, obs=None, ctx=None) -> RsmRunResult:
+def run_rsm(
+    spec: RsmRunSpec, tracer=None, obs=None, ctx=None, workers_cap=None
+) -> RsmRunResult:
     """Run one RSM service spec on a fresh simulated cluster.
 
     Observation rides in ``ctx`` (a :class:`~repro.engine.RunContext`); the
@@ -103,10 +105,20 @@ def run_rsm(spec: RsmRunSpec, tracer=None, obs=None, ctx=None) -> RsmRunResult:
     one.  Specs whose topology declares multiple groups — or whose workload
     includes cross-shard transactions — dispatch to
     :func:`repro.rsm.shard.run_sharded_rsm` and return its
-    ``ShardedRsmRunResult`` instead.
+    ``ShardedRsmRunResult`` instead.  With ``spec.parallel`` set, multi-group
+    specs run one kernel per shard via
+    :func:`repro.rsm.parallel.run_parallel_sharded_rsm`; a parallel spec with
+    a single group falls back to the ordinary serial kernel unchanged.
+    ``workers_cap`` limits the parallel path's worker processes (the sweep
+    scheduler's CPU-budget share) without touching the spec or any
+    deterministic output.
     """
     ctx = RunContext.resolve(ctx, tracer, obs)
     if spec.is_sharded:
+        if spec.parallel:
+            from repro.rsm.parallel import run_parallel_sharded_rsm
+
+            return run_parallel_sharded_rsm(spec, ctx=ctx, workers_cap=workers_cap)
         from repro.rsm.shard import run_sharded_rsm
 
         return run_sharded_rsm(spec, ctx=ctx)

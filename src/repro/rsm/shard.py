@@ -72,8 +72,24 @@ __all__ = [
     "TxnDriver",
     "ShardedRsmRunResult",
     "run_sharded_rsm",
+    "shard_pid_groups",
     "sharded_service_metrics",
 ]
+
+
+def shard_pid_groups(spec: RsmRunSpec) -> tuple[tuple[int, ...], ...]:
+    """Global pid membership of each shard group, in shard order.
+
+    This is the partition assignment shared by the serial runner and the
+    conservative-parallel scheduler (:mod:`repro.rsm.parallel`): pids are
+    numbered ``shard * group_size .. (shard + 1) * group_size - 1``, so a
+    parallel run's traces carry exactly the serial runner's pids.
+    """
+    gsize = spec.group_size
+    return tuple(
+        tuple(range(s * gsize, (s + 1) * gsize))
+        for s in range(spec.topology.groups)
+    )
 
 
 class ShardRouter:
@@ -410,7 +426,7 @@ def run_sharded_rsm(
     groups = spec.topology.groups
     gsize = spec.group_size
     router = ShardRouter(groups, spec.keys, spec.topology.partitioner)
-    shard_pids = {s: list(range(s * gsize, (s + 1) * gsize)) for s in range(groups)}
+    shard_pids = {s: list(g) for s, g in enumerate(shard_pid_groups(spec))}
 
     sim = Simulator(seed=spec.seed, batch=spec.batch)
     network = Network(
@@ -815,7 +831,7 @@ def sharded_service_metrics(result: ShardedRsmRunResult) -> dict:
         for pid, learner in result.learners.items()
     }
 
-    return {
+    section = {
         "committed": result.committed,
         "offered_window": offered,
         "committed_window": len(latencies),
@@ -837,3 +853,10 @@ def sharded_service_metrics(result: ShardedRsmRunResult) -> dict:
         "recovery": recovery,
         "linearizable": result.linearizable,
     }
+    # Conservative-parallel runs carry the scheduler's deterministic summary
+    # (partitions, windows, null messages, ideal-speedup bound) into the
+    # report so `repro obs` distillations can gate on it.
+    parallel = getattr(result, "parallel", None)
+    if parallel:
+        section["parallel"] = parallel
+    return section

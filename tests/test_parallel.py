@@ -1,0 +1,647 @@
+"""Conservative-parallel simulation: partitioned kernels with lookahead.
+
+The parallel executor (:mod:`repro.sim.parallel` + :mod:`repro.rsm.parallel`)
+is only admissible because it is a pure *execution strategy*: same spec,
+same seed ⇒ the same merged trace and the same report regardless of the
+worker-process count.  These tests pin that contract down layer by layer:
+
+* ``DelayModel.min_delay()`` — the provable delay floor every lookahead
+  computation rests on — for all five models, and the
+  :class:`ConfigurationError` when the floor is zero/unbounded below;
+* :class:`PartitionPlan` validation and lookahead window arithmetic;
+* the substrate (:func:`run_partitions`) with toy harnesses: conservative
+  window barriers, deterministic ``(time, seq, src)`` message ordering,
+  null-message accounting, stop propagation, and in-process vs
+  multiprocess equivalence;
+* spec surface: ``parallel``/``workers`` validation, serialization only
+  when set, single-group graceful fallback, obs-mode restrictions;
+* per-shard nemesis filtering (point ops, link ops, partitions);
+* the sweep scheduler's shared CPU budget (``jobs × workers`` clamp);
+* report/warehouse plumbing: the deterministic ``rsm["parallel"]`` section
+  and the ``parallel_speedup`` distillation with its reversed-direction
+  regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine.context import RunContext
+from repro.engine.spec import NemesisSpec, RsmRunSpec, TopologySpec
+from repro.errors import ConfigurationError
+from repro.nemesis.spec import (
+    CpuSkewOp,
+    CrashOp,
+    DelayOp,
+    DropOp,
+    DupOp,
+    FdFlapOp,
+    PartitionOp,
+)
+from repro.rsm.parallel import (
+    filter_nemesis_for_shard,
+    run_parallel_sharded_rsm,
+    shard_partition_plan,
+)
+from repro.rsm.runner import run_rsm
+from repro.rsm.shard import shard_pid_groups
+from repro.sim.network import (
+    ConstantDelay,
+    ExponentialDelay,
+    LanDelay,
+    LogNormalDelay,
+    UniformDelay,
+)
+from repro.sim.parallel import (
+    CrossMessage,
+    ParallelStats,
+    PartitionPlan,
+    required_lookahead,
+    run_partitions,
+)
+from repro.sim.trace import Tracer
+
+
+def trace_bytes(tracer: Tracer) -> bytes:
+    return json.dumps(
+        [[r.time, r.pid, r.kind, repr(r.data)] for r in tracer.records]
+    ).encode()
+
+
+# --------------------------------------------------------------------------
+# Satellite: DelayModel.min_delay() — the provable lookahead floor.
+
+
+class TestMinDelay:
+    def test_constant(self):
+        assert ConstantDelay(0.25).min_delay() == 0.25
+
+    def test_uniform_floor_is_low(self):
+        assert UniformDelay(0.01, 0.05).min_delay() == 0.01
+
+    def test_exponential_floor_is_base(self):
+        assert ExponentialDelay(0.003, 0.02).min_delay() == 0.003
+
+    def test_lognormal_floor_is_zero(self):
+        # exp(mu + sigma·Z) > 0 has no positive lower bound when sigma > 0.
+        assert LogNormalDelay(0.01, 0.5).min_delay() == 0.0
+
+    def test_lognormal_degenerate_sigma(self):
+        assert LogNormalDelay(0.01, 0.0).min_delay() == 0.01
+
+    def test_lan_floor_is_base(self):
+        model = LanDelay()
+        assert model.min_delay() == model.base
+        assert model.min_delay() > 0.0
+
+    def test_required_lookahead_positive_floor(self):
+        assert required_lookahead(ConstantDelay(0.1)) == 0.1
+
+    def test_required_lookahead_rejects_zero_floor(self):
+        with pytest.raises(ConfigurationError, match="zero/unbounded-below"):
+            required_lookahead(LogNormalDelay(0.01, 0.5))
+
+    def test_required_lookahead_rejects_floorless_model(self):
+        class NoFloor:
+            def sample(self, rng, src, dst):  # pragma: no cover - shape only
+                return 0.1
+
+        with pytest.raises(ConfigurationError, match="min_delay"):
+            required_lookahead(NoFloor())
+
+
+# --------------------------------------------------------------------------
+# PartitionPlan: validation + window arithmetic.
+
+
+class TestPartitionPlan:
+    def test_partition_of(self):
+        plan = PartitionPlan(groups=((0, 1), (2, 3)))
+        assert plan.partitions == 2
+        assert plan.partition_of(0) == 0
+        assert plan.partition_of(3) == 1
+
+    def test_rejects_empty_groups(self):
+        with pytest.raises(ConfigurationError):
+            PartitionPlan(groups=())
+        with pytest.raises(ConfigurationError):
+            PartitionPlan(groups=((0,), ()))
+
+    def test_rejects_overlapping_groups(self):
+        with pytest.raises(ConfigurationError, match="more than one partition"):
+            PartitionPlan(groups=((0, 1), (1, 2)))
+
+    def test_rejects_nonpositive_lookahead(self):
+        with pytest.raises(ConfigurationError):
+            PartitionPlan(groups=((0,), (1,)), lookahead=0.0)
+
+    def test_window_ends_stepped_by_lookahead(self):
+        plan = PartitionPlan(groups=((0,), (1,)), lookahead=0.5)
+        assert plan.window_ends(2.0) == [0.5, 1.0, 1.5, 2.0]
+        # A horizon off the lookahead grid still ends exactly at the horizon.
+        assert plan.window_ends(1.2) == [0.5, 1.0, 1.2]
+
+    def test_window_ends_single_window_without_lookahead(self):
+        plan = PartitionPlan(groups=((0,), (1,)))
+        assert plan.window_ends(3.0) == [3.0]
+
+    def test_window_ends_single_partition_needs_no_barriers(self):
+        plan = PartitionPlan(groups=((0, 1),), lookahead=0.5)
+        assert plan.window_ends(3.0) == [3.0]
+
+
+# --------------------------------------------------------------------------
+# Substrate: conservative synchronization over toy harnesses.
+
+
+class PingPong:
+    """Toy partition: one event per second, each sending a cross message
+    that arrives ``lookahead`` later in the peer partition."""
+
+    def __init__(self, me: int, other: int, horizon: float) -> None:
+        self.me, self.other = me, other
+        self.horizon = horizon
+        self.next_event = 1.0
+        self.seq = 0
+        self.log: list[tuple] = []
+        self.events_processed = 0
+
+    def inject(self, messages):
+        for m in messages:
+            self.log.append(("recv", round(m.time, 6), m.payload))
+
+    def advance(self, until):
+        out = []
+        while self.next_event <= until:
+            t = self.next_event
+            self.seq += 1
+            self.events_processed += 1
+            out.append(
+                CrossMessage(
+                    time=t + 0.5,
+                    seq=self.seq,
+                    src=self.me,
+                    dst=self.other,
+                    src_pid=self.me,
+                    dst_pid=self.other,
+                    payload=f"p{self.me}@{t}",
+                    channel="msg",
+                )
+            )
+            self.next_event += 1.0
+        return out
+
+    def pending(self):
+        return self.next_event <= self.horizon
+
+    def stopped(self):
+        return False
+
+    def finish(self):
+        return self.log
+
+
+class TestSubstrate:
+    PLAN = PartitionPlan(groups=((0,), (1,)), lookahead=0.5)
+
+    def _build(self, partition, payload):
+        return PingPong(partition, 1 - partition, horizon=3.0)
+
+    def test_cross_messages_arrive_after_lookahead(self):
+        outcomes, stats = run_partitions(
+            self._build, [None, None], self.PLAN, horizon=3.0, workers=1
+        )
+        # Events at t=1,2 produce arrivals at 1.5, 2.5; the t=3 send lands
+        # past the horizon and is conservatively never delivered.
+        assert outcomes[0] == [("recv", 1.5, "p1@1.0"), ("recv", 2.5, "p1@2.0")]
+        assert outcomes[1] == [("recv", 1.5, "p0@1.0"), ("recv", 2.5, "p0@2.0")]
+        assert stats.windows == 6
+        assert stats.cross_messages == 6
+        assert stats.null_messages == 6
+
+    def test_multiprocess_equivalent_to_in_process(self):
+        serial, s1 = run_partitions(
+            self._build, [None, None], self.PLAN, horizon=3.0, workers=1
+        )
+        forked, s2 = run_partitions(
+            self._build, [None, None], self.PLAN, horizon=3.0, workers=2
+        )
+        assert serial == forked
+        assert s1.windows == s2.windows
+        assert s1.cross_messages == s2.cross_messages
+        assert s2.workers == 2
+
+    def test_workers_clamped_to_partitions(self):
+        _, stats = run_partitions(
+            self._build, [None, None], self.PLAN, horizon=3.0, workers=8
+        )
+        assert stats.workers == 2
+
+    def test_injected_messages_sorted_by_time_seq_src(self):
+        # One sink partition; two senders emit interleaved messages whose
+        # arrival order must be (time, seq, src) regardless of send order.
+        class Sink:
+            def __init__(self):
+                self.got = []
+
+            def inject(self, messages):
+                self.got.extend((m.time, m.seq, m.src, m.payload) for m in messages)
+
+            def advance(self, until):
+                return []
+
+            def pending(self):
+                return False
+
+            def stopped(self):
+                return False
+
+            def finish(self):
+                return self.got
+
+        class Burst:
+            def __init__(self, me):
+                self.me = me
+                self.sent = False
+
+            def inject(self, messages):
+                pass
+
+            def advance(self, until):
+                if self.sent:
+                    return []
+                self.sent = True
+                # Deliberately emitted out of order.
+                return [
+                    CrossMessage(2.0, 5, self.me, 0, self.me, 0, f"late{self.me}", "m"),
+                    CrossMessage(2.0, 1, self.me, 0, self.me, 0, f"tie{self.me}", "m"),
+                    CrossMessage(1.5, 9, self.me, 0, self.me, 0, f"early{self.me}", "m"),
+                ]
+
+            def pending(self):
+                return False
+
+            def stopped(self):
+                return False
+
+            def finish(self):
+                return None
+
+        def build(partition, payload):
+            return Sink() if partition == 0 else Burst(partition)
+
+        plan = PartitionPlan(groups=((0,), (1,), (2,)), lookahead=1.0)
+        outcomes, _ = run_partitions(build, [None] * 3, plan, horizon=4.0, workers=1)
+        keys = [(t, seq, src) for t, seq, src, _ in outcomes[0]]
+        assert keys == sorted(keys)
+        # Equal (time, seq) ties break on src.
+        assert [p for _, _, _, p in outcomes[0]][:2] == ["early1", "early2"]
+
+    def test_stop_halts_every_partition(self):
+        class Stopper(PingPong):
+            def stopped(self):
+                return self.next_event > 2.0  # stops mid-run
+
+        def build(partition, payload):
+            cls = Stopper if partition == 0 else PingPong
+            return cls(partition, 1 - partition, horizon=10.0)
+
+        plan = PartitionPlan(groups=((0,), (1,)), lookahead=0.5)
+        outcomes, stats = run_partitions(build, [None, None], plan, 10.0, workers=1)
+        # Partition 1 would have run to t=10 alone; the stop in partition 0
+        # halts the window loop for everyone.
+        assert stats.windows < len(plan.window_ends(10.0))
+        assert all(t <= 3.0 for _, t, _ in outcomes[1])
+
+    def test_payload_count_must_match_partitions(self):
+        with pytest.raises(ConfigurationError):
+            run_partitions(self._build, [None], self.PLAN, horizon=1.0, workers=1)
+
+
+# --------------------------------------------------------------------------
+# Spec surface: validation, serialization, fallback, obs restrictions.
+
+
+class TestSpecSurface:
+    def test_workers_requires_parallel(self):
+        with pytest.raises(ConfigurationError, match="parallel"):
+            RsmRunSpec(protocol="multipaxos", rate=10.0, duration=1.0, workers=2)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ConfigurationError, match="workers"):
+            RsmRunSpec(
+                protocol="multipaxos",
+                rate=10.0,
+                duration=1.0,
+                parallel=True,
+                workers=-1,
+            )
+
+    def test_parallel_rejects_txn_clients(self):
+        with pytest.raises(ConfigurationError, match="txn_clients"):
+            RsmRunSpec(
+                protocol="multipaxos",
+                rate=10.0,
+                duration=1.0,
+                topology=TopologySpec(groups=2),
+                parallel=True,
+                txn_clients=2,
+                txn_rate=5.0,
+            )
+
+    def test_fields_serialize_only_when_set(self):
+        plain = RsmRunSpec(protocol="multipaxos", rate=10.0, duration=1.0)
+        assert "parallel" not in plain.to_dict()
+        assert "workers" not in plain.to_dict()
+        par = RsmRunSpec(
+            protocol="multipaxos",
+            rate=10.0,
+            duration=1.0,
+            topology=TopologySpec(groups=2),
+            parallel=True,
+            workers=2,
+        )
+        body = par.to_dict()
+        assert body["parallel"] is True
+        assert body["workers"] == 2
+        assert RsmRunSpec.from_dict(body) == par
+
+    def test_parallel_changes_cache_key(self):
+        base = dict(
+            protocol="multipaxos",
+            rate=10.0,
+            duration=1.0,
+            topology=TopologySpec(groups=2),
+        )
+        serial = RsmRunSpec(**base)
+        parallel = RsmRunSpec(**base, parallel=True)
+        assert serial.cache_key() != parallel.cache_key()
+        # Worker count is execution-only in effect but serialized for
+        # transparency; byte-identity across counts is pinned elsewhere.
+        assert (
+            RsmRunSpec(**base, parallel=True, workers=2).cache_key()
+            != parallel.cache_key()
+        )
+
+    def test_single_group_falls_back_to_serial_kernel(self):
+        spec = RsmRunSpec(
+            protocol="multipaxos",
+            rate=20.0,
+            duration=1.0,
+            n=3,
+            clients=2,
+            seed=3,
+            parallel=True,
+        )
+        result = run_rsm(spec)
+        # The unsharded runner served it: no parallel section, no stubs.
+        assert not hasattr(result, "parallel")
+        assert result.committed > 0
+
+    def test_obs_metrics_rejected(self):
+        spec = RsmRunSpec(
+            protocol="multipaxos",
+            rate=20.0,
+            duration=1.0,
+            clients=2,
+            topology=TopologySpec(groups=2),
+            parallel=True,
+            obs=True,
+            obs_metrics_interval=0.1,
+        )
+        from repro.engine.runner import execute_run
+
+        with pytest.raises(ConfigurationError, match="obs detail"):
+            execute_run(spec)
+
+
+# --------------------------------------------------------------------------
+# Per-shard nemesis filtering.
+
+
+class TestNemesisFiltering:
+    def test_point_ops_follow_their_pid(self):
+        nem = NemesisSpec(
+            (
+                CrashOp(at=0.5, pid=2),
+                FdFlapOp(at=1.0, duration=0.2, pid=4),
+                CpuSkewOp(at=1.5, duration=0.2, pid=2, factor=2.0),
+            )
+        )
+        shard0 = filter_nemesis_for_shard(nem, frozenset({0, 1, 2}))
+        shard1 = filter_nemesis_for_shard(nem, frozenset({3, 4, 5}))
+        assert {type(op).__name__ for op in shard0.ops} == {"CrashOp", "CpuSkewOp"}
+        assert {type(op).__name__ for op in shard1.ops} == {"FdFlapOp"}
+
+    def test_wildcard_link_ops_kept_everywhere(self):
+        nem = NemesisSpec(
+            (
+                DropOp(at=0.1, duration=0.1, p=0.5),
+                DelayOp(at=0.2, duration=0.1, extra=1e-3),
+                DupOp(at=0.3, duration=0.1, p=0.2),
+            )
+        )
+        for pids in (frozenset({0, 1, 2}), frozenset({9, 10, 11})):
+            assert len(filter_nemesis_for_shard(nem, pids).ops) == 3
+
+    def test_addressed_link_op_needs_both_endpoints(self):
+        nem = NemesisSpec((DropOp(at=0.1, duration=0.1, p=0.5, src=0, dst=1),))
+        assert len(filter_nemesis_for_shard(nem, frozenset({0, 1, 2})).ops) == 1
+        # A cross-shard link cannot exist in a partitioned run; the op
+        # vanishes from both shards rather than half-applying.
+        nem_cross = NemesisSpec((DropOp(at=0.1, duration=0.1, p=0.5, src=0, dst=3),))
+        assert len(filter_nemesis_for_shard(nem_cross, frozenset({0, 1, 2})).ops) == 0
+        assert len(filter_nemesis_for_shard(nem_cross, frozenset({3, 4, 5})).ops) == 0
+
+    def test_partition_groups_intersected(self):
+        nem = NemesisSpec(
+            (PartitionOp(at=0.5, duration=0.2, groups=((0, 1, 3), (2, 4))),)
+        )
+        out = filter_nemesis_for_shard(nem, frozenset({0, 1, 2}))
+        assert len(out.ops) == 1
+        assert out.ops[0].groups == ((0, 1), (2,))
+
+    def test_partition_missing_shard_isolates_it(self):
+        # Serial semantics: pids in no group are isolated.  A shard whose
+        # pids all fall outside the op's groups reproduces that with a
+        # singleton group (everyone else isolated from it).
+        nem = NemesisSpec((PartitionOp(at=0.5, duration=0.2, groups=((0, 1),)),))
+        out = filter_nemesis_for_shard(nem, frozenset({3, 4, 5}))
+        assert len(out.ops) == 1
+        assert out.ops[0].groups == ((3,),)
+
+    def test_shard_partition_plan_requires_sharding(self):
+        spec = RsmRunSpec(protocol="multipaxos", rate=10.0, duration=1.0)
+        with pytest.raises(ConfigurationError):
+            shard_partition_plan(spec)
+
+    def test_shard_pid_groups_layout(self):
+        spec = RsmRunSpec(
+            protocol="multipaxos",
+            rate=10.0,
+            duration=1.0,
+            n=3,
+            topology=TopologySpec(groups=2),
+        )
+        assert shard_pid_groups(spec) == ((0, 1, 2), (3, 4, 5))
+
+
+# --------------------------------------------------------------------------
+# Tentpole: the RSM path — stubs, merged stats, deterministic section.
+
+
+class TestParallelRsm:
+    SPEC = dict(
+        protocol="multipaxos",
+        seed=7,
+        rate=20.0,
+        duration=2.0,
+        clients=4,
+        topology=TopologySpec(groups=4, group_size=3),
+    )
+
+    def test_matches_committed_and_checks(self):
+        result = run_rsm(RsmRunSpec(**self.SPEC, parallel=True))
+        assert result.shards == 4
+        assert result.committed > 0
+        assert result.linearizable is True
+        parallel = result.parallel
+        assert parallel["partitions"] == 4
+        assert parallel["speedup_bound"] > 1.0
+        assert parallel["events_total"] >= parallel["max_partition_events"]
+
+    def test_parallel_section_is_deterministic(self):
+        first = run_rsm(RsmRunSpec(**self.SPEC, parallel=True, workers=1))
+        second = run_rsm(RsmRunSpec(**self.SPEC, parallel=True, workers=1))
+        assert first.parallel == second.parallel
+
+    def test_workers_cap_does_not_change_outputs(self):
+        spec = RsmRunSpec(**self.SPEC, parallel=True, workers=4)
+        free = run_parallel_sharded_rsm(spec)
+        capped = run_parallel_sharded_rsm(spec, workers_cap=1)
+        # The deterministic section reports the *requested* workers; only
+        # the opt-in perf stats see the actual process count.
+        assert free.parallel == capped.parallel
+        assert capped.parallel_stats.workers == 1
+
+    def test_commit_latencies_flow_into_report(self):
+        from repro.engine.runner import execute_run
+
+        report = execute_run(RsmRunSpec(**self.SPEC, parallel=True, workers=2))
+        assert report.delivered > 0
+        assert report.rsm["parallel"]["workers"] == 2
+        assert report.rsm["committed"] == report.delivered
+
+    def test_report_json_deterministic_across_worker_counts(self):
+        from repro.engine.runner import execute_run
+
+        one = execute_run(RsmRunSpec(**self.SPEC, parallel=True, workers=1))
+        # Same spec value => same cache key; run twice to pin byte-identity
+        # of the full report document.
+        again = execute_run(RsmRunSpec(**self.SPEC, parallel=True, workers=1))
+        assert one.to_json() == again.to_json()
+
+
+# --------------------------------------------------------------------------
+# Satellite: sweep scheduler shares the CPU budget with per-cell workers.
+
+
+class TestSweepBudget:
+    def test_jobs_times_workers_clamped(self, tmp_path):
+        from repro.engine.pool import available_cpus, shutdown_shared_pool
+        from repro.engine.runner import run_sweep
+
+        specs = [
+            RsmRunSpec(
+                protocol="multipaxos",
+                seed=seed,
+                rate=10.0,
+                duration=0.5,
+                clients=2,
+                topology=TopologySpec(groups=2, group_size=3),
+                parallel=True,
+                workers=4,
+            )
+            for seed in (1, 2)
+        ]
+        try:
+            result = run_sweep(specs, jobs=2, clamp_jobs=False)
+        finally:
+            shutdown_shared_pool()
+        assert len(result.reports) == 2
+        cpus = available_cpus()
+        if 2 * 4 > cpus:
+            cap = max(1, cpus // 2)
+            assert any(
+                f"workers clamped to {cap}" in note for note in result.notes
+            ), result.notes
+        # Reports stay deterministic: the requested workers value survives.
+        assert all(r.rsm["parallel"]["workers"] == 4 for r in result.reports)
+
+    def test_serial_sweep_unaffected(self):
+        from repro.engine.runner import run_sweep
+
+        spec = RsmRunSpec(
+            protocol="multipaxos",
+            seed=1,
+            rate=10.0,
+            duration=0.5,
+            clients=2,
+            topology=TopologySpec(groups=2, group_size=3),
+            parallel=True,
+            workers=2,
+        )
+        result = run_sweep([spec], jobs=1)
+        assert result.notes == ()
+        assert result.reports[0].rsm["parallel"]["partitions"] == 2
+
+
+# --------------------------------------------------------------------------
+# Satellite: warehouse distillation + reversed-direction regression gate.
+
+
+class TestWarehouseSpeedup:
+    def _entry(self):
+        from repro.engine.runner import execute_run
+        from repro.obs.warehouse import build_entry
+
+        spec = RsmRunSpec(
+            protocol="multipaxos",
+            seed=7,
+            rate=20.0,
+            duration=1.0,
+            clients=4,
+            topology=TopologySpec(groups=2, group_size=3),
+            parallel=True,
+            workers=2,
+        )
+        report = execute_run(spec)
+        return build_entry(report, [])
+
+    def test_entry_carries_speedup_distillation(self):
+        entry = self._entry()
+        dist = entry["parallel_speedup"]
+        assert dist["partitions"] == 2
+        assert dist["workers"] == 2
+        assert dist["speedup_bound"] > 1.0
+
+    def test_compare_flags_shrunken_speedup(self):
+        from repro.obs.warehouse import compare_entries
+
+        base = self._entry()
+        fresh = json.loads(json.dumps(base))
+        fresh["parallel_speedup"]["speedup_bound"] = (
+            base["parallel_speedup"]["speedup_bound"] * 0.5
+        )
+        _, failures = compare_entries(base, fresh, tolerance=0.3)
+        assert any("speedup_bound" in f for f in failures)
+        # Identical entries pass, and a *grown* bound is never a regression.
+        _, ok = compare_entries(base, base, tolerance=0.3)
+        assert ok == []
+        fresh["parallel_speedup"]["speedup_bound"] = (
+            base["parallel_speedup"]["speedup_bound"] * 2.0
+        )
+        _, grown = compare_entries(base, fresh, tolerance=0.3)
+        assert grown == []

@@ -297,3 +297,61 @@ class TestRunContextCompat:
         obs = ObsRuntime.from_spec(spec)
         ctx = RunContext(obs=obs)
         assert ctx.tracer is obs.tracer
+
+
+class TestParallelSpecFreeze:
+    """Specs without the parallel fields must serialise byte-identically to
+    the pre-parallel era (the exact contract the topology and nemesis
+    freezes pin), while a parallel spec gets its own pinned key: the
+    per-shard RNG streams make a parallel run a *different simulation* from
+    the single-kernel serial run of the same workload, so the two must never
+    share a cache entry."""
+
+    KEY_PARALLEL = (
+        "80ddef504688bcd6f442d9bac86c6d362cca764b77b2868621dd6893bd04032d"
+    )
+
+    def test_parallel_fields_omitted_by_default(self):
+        spec = RsmRunSpecForFreeze()
+        body = spec.to_dict()
+        assert "parallel" not in body
+        assert "workers" not in body
+        assert spec.cache_key() == TestTopologySpecFreeze.KEY_PLAIN
+
+    def test_parallel_spec_round_trips(self):
+        from repro.engine import RsmRunSpec, TopologySpec, spec_from_dict
+
+        spec = RsmRunSpec(
+            protocol="cabcast-l",
+            rate=100.0,
+            duration=0.3,
+            n=3,
+            clients=4,
+            topology=TopologySpec(groups=4),
+            parallel=True,
+            workers=2,
+        )
+        assert spec_from_dict(spec.to_dict()) == spec
+
+    def test_parallel_cache_key_frozen(self):
+        from repro.engine import RsmRunSpec, TopologySpec
+
+        spec = RsmRunSpec(
+            protocol="multipaxos",
+            rate=30.0,
+            duration=3.0,
+            clients=6,
+            seed=11,
+            topology=TopologySpec(groups=8, group_size=3),
+            parallel=True,
+            workers=2,
+        )
+        assert spec.cache_key() == self.KEY_PARALLEL
+
+
+def RsmRunSpecForFreeze():
+    from repro.engine import RsmRunSpec
+
+    return RsmRunSpec(
+        protocol="cabcast-l", rate=120.0, duration=0.4, n=3, clients=4, seed=7
+    )
